@@ -1,0 +1,103 @@
+// Microbenchmarks (google-benchmark) for the checkpointing substrate — the
+// ablation behind Table V: what one instrumented store costs in each
+// instrumentation mode, and what checkpoint/rollback cost at the undo-log
+// sizes the servers actually produce.
+#include <benchmark/benchmark.h>
+
+#include "ckpt/cell.hpp"
+#include "ckpt/context.hpp"
+#include "ckpt/undo_log.hpp"
+
+using namespace osiris;
+
+namespace {
+
+void BM_UndoLogRecord(benchmark::State& state) {
+  ckpt::UndoLog log;
+  std::uint64_t cell = 0;
+  for (auto _ : state) {
+    log.record(&cell, sizeof cell);
+    if (log.entry_count() >= 1024) log.checkpoint();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UndoLogRecord);
+
+void BM_UndoLogRollback(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ckpt::UndoLog log;
+  std::vector<std::uint64_t> cells(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      log.record(&cells[i], sizeof cells[i]);
+      cells[i] = i;
+    }
+    log.rollback();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_UndoLogRollback)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_CheckpointReset(benchmark::State& state) {
+  ckpt::UndoLog log;
+  std::uint64_t cell = 0;
+  for (auto _ : state) {
+    log.record(&cell, sizeof cell);
+    log.checkpoint();
+  }
+}
+BENCHMARK(BM_CheckpointReset);
+
+// One instrumented store under each instrumentation mode — the per-store
+// cost structure behind Table V's "without opt" vs optimized columns.
+void BM_CellStore(benchmark::State& state) {
+  const auto mode = static_cast<ckpt::Mode>(state.range(0));
+  const bool window_open = state.range(1) != 0;
+  ckpt::Context ctx(mode);
+  ctx.set_window_open(window_open);
+  ckpt::Context::Scope scope(&ctx);
+  ckpt::Cell<std::uint64_t> cell;
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    cell = ++v;
+    if (ctx.log().entry_count() >= 4096) ctx.log().checkpoint();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CellStore)
+    ->ArgNames({"mode", "window"})
+    ->Args({static_cast<int>(ckpt::Mode::kOff), 0})         // uninstrumented
+    ->Args({static_cast<int>(ckpt::Mode::kAlways), 0})      // without opt, window closed
+    ->Args({static_cast<int>(ckpt::Mode::kAlways), 1})      // without opt, window open
+    ->Args({static_cast<int>(ckpt::Mode::kWindowOnly), 0})  // optimized, window closed
+    ->Args({static_cast<int>(ckpt::Mode::kWindowOnly), 1});  // optimized, window open
+
+void BM_TableAllocFree(benchmark::State& state) {
+  ckpt::Context ctx(ckpt::Mode::kWindowOnly);
+  ctx.set_window_open(true);
+  ckpt::Context::Scope scope(&ctx);
+  ckpt::Table<std::uint64_t, 64> table;
+  for (auto _ : state) {
+    const std::size_t i = table.alloc();
+    table.mutate(i) = 42;
+    table.free(i);
+    ctx.log().checkpoint();
+  }
+}
+BENCHMARK(BM_TableAllocFree);
+
+// Restart-phase state transfer at VM scale (the dominant clone copy).
+void BM_StateTransfer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> src(n), dst(n);
+  for (auto _ : state) {
+    std::memcpy(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StateTransfer)->Arg(4 << 10)->Arg(64 << 10)->Arg(512 << 10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Regenerates Figure 3: "Unixbench scores as a function of service
+// disruption interval".
+//
+// Fail-stop faults are injected into PM at a fixed interval, but only while
+// PM's recovery window is open (as in the paper, so that every fault is
+// consistently recoverable and the benchmark always completes). The
+// interval is measured in PM request-loop executions; each sweep step
+// doubles the fault influx (halves the interval).
+//
+// Expected shape (paper): PM-dependent workloads (shell1, shell8, execl,
+// spawn, syscall) degrade as the interval shrinks; PM-independent ones
+// (dhry2reg, whetstone-double, fsdisk, fsbuffer) stay flat; every run
+// completes without functional service degradation.
+//
+// Environment: OSIRIS_RUNS (default 3), OSIRIS_ITER_SCALE (default 1.0).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "fi/registry.hpp"
+#include "os/instance.hpp"
+#include "support/stats.hpp"
+#include "support/table_printer.hpp"
+#include "workload/suite.hpp"
+#include "workload/unixbench.hpp"
+
+using namespace osiris;
+using namespace osiris::workload;
+
+namespace {
+
+/// PM's busiest fault site (its request-loop entry probe): the site whose
+/// hit counter advances once per PM message.
+fi::Site* pm_entry_site() {
+  // Profile with a tiny run so every PM site has registered itself.
+  fi::Registry::instance().disarm();
+  fi::Registry::instance().reset_counts();
+  {
+    os::OsConfig cfg;
+    os::OsInstance inst(cfg);
+    register_ub_programs(inst.programs());
+    inst.boot();
+    inst.run([](os::ISys& sys) {
+      for (int i = 0; i < 50; ++i) sys.getpid();
+    });
+  }
+  fi::Site* best = nullptr;
+  for (fi::Site* s : fi::Registry::instance().sites()) {
+    if (std::strcmp(s->tag, "pm") == 0 && (best == nullptr || s->hits > best->hits)) best = s;
+  }
+  OSIRIS_ASSERT(best != nullptr);
+  return best;
+}
+
+double run_with_influx(const UbWorkload& w, std::uint64_t iters, fi::Site* site,
+                       std::uint64_t interval) {
+  fi::Registry::instance().disarm();
+  fi::Registry::instance().reset_counts();
+  os::OsConfig cfg;
+  cfg.policy = seep::Policy::kEnhanced;
+  cfg.max_recoveries = 1u << 30;  // Figure 3 sustains recovery indefinitely
+  os::OsInstance inst(cfg);
+  register_ub_programs(inst.programs());
+  inst.boot();
+  if (interval > 0) fi::Registry::instance().arm_periodic_window_crash(site, interval);
+  ub_reset_completed();
+  const auto body = w.body;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto outcome = inst.run([&body, iters](os::ISys& sys) { body(sys, iters); });
+  const auto t1 = std::chrono::steady_clock::now();
+  fi::Registry::instance().disarm();
+  OSIRIS_ASSERT(outcome == os::OsInstance::Outcome::kCompleted);
+  // Score completed work units: an iteration whose fork never succeeded
+  // under the fault influx contributes nothing (no silent work-shrinkage).
+  return ub_score(ub_last_completed(), std::chrono::duration<double>(t1 - t0).count());
+}
+
+}  // namespace
+
+int main() {
+  const int runs = std::getenv("OSIRIS_RUNS") ? std::atoi(std::getenv("OSIRIS_RUNS")) : 3;
+  const double scale =
+      std::getenv("OSIRIS_ITER_SCALE") ? std::atof(std::getenv("OSIRIS_ITER_SCALE")) : 1.0;
+
+  fi::Site* site = pm_entry_site();
+  std::printf("Figure 3 — unixbench score vs service disruption interval\n");
+  std::printf("(fail-stop faults injected into PM's recovery window every N PM requests;\n"
+              " scores normalized to the fault-free run = 100)\n\n");
+
+  const std::vector<std::uint64_t> intervals = {0, 10000, 1000, 100, 30, 10, 3, 1};
+  std::vector<std::string> headers = {"Benchmark"};
+  for (std::uint64_t i : intervals) headers.push_back(i == 0 ? "no faults" : std::to_string(i));
+  TablePrinter table(headers);
+
+  for (const UbWorkload& w : ub_workloads()) {
+    const auto iters = static_cast<std::uint64_t>(static_cast<double>(w.default_iters) * scale / 2);
+    (void)run_with_influx(w, std::max<std::uint64_t>(iters, 1), site, 0);  // warm-up
+    std::vector<std::string> row = {w.name};
+    double base_score = 0;
+    for (std::uint64_t interval : intervals) {
+      std::vector<double> scores;
+      for (int r = 0; r < runs; ++r) {
+        scores.push_back(run_with_influx(w, std::max<std::uint64_t>(iters, 1), site, interval));
+      }
+      const double med = stats::median(scores);
+      if (interval == 0) {
+        base_score = med;
+        row.push_back("100.0");
+      } else {
+        row.push_back(TablePrinter::fmt(base_score > 0 ? med / base_score * 100.0 : 0.0, 1));
+      }
+    }
+    table.add_row(row);
+    std::fflush(stdout);
+  }
+  table.print();
+  std::printf(
+      "\npaper shape: PM-dependent rows (shell1, shell8, execl, spawn) fall\n"
+      "sharply at small intervals; PM-independent rows (dhry2reg,\n"
+      "whetstone-double, fsdisk, fsbuffer) remain flat; all runs complete.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Regenerates Table I: "Percentage of time spent inside the recovery window
+// for each server (mean weighted by time spent running server)".
+//
+// Runs the 89-program prototype test suite under the pessimistic and the
+// enhanced recovery policies and reports per-server recovery coverage: the
+// fraction of executed basic blocks (probes) that fell inside an open
+// recovery window.
+//
+// Paper reference values: PM 54.9/61.7, VFS 72.3/72.3, VM 64.6/64.6,
+// DS 47.1/92.8, RS 49.4/50.5; weighted mean 57.7/68.4.
+#include <cstdio>
+
+#include "support/table_printer.hpp"
+#include "workload/coverage.hpp"
+
+using namespace osiris;
+
+int main() {
+  std::printf("Table I — recovery coverage per server (prototype test suite)\n\n");
+
+  const auto pess = workload::measure_coverage(seep::Policy::kPessimistic);
+  const auto enh = workload::measure_coverage(seep::Policy::kEnhanced);
+
+  TablePrinter table({"Server", "Pessimistic", "Enhanced", "Probe hits"});
+  double pess_mean = pess.weighted_mean;
+  double enh_mean = enh.weighted_mean;
+  for (std::size_t i = 0; i < pess.servers.size(); ++i) {
+    table.add_row({pess.servers[i].server, TablePrinter::pct(pess.servers[i].coverage),
+                   TablePrinter::pct(enh.servers[i].coverage),
+                   std::to_string(enh.servers[i].total_hits)});
+  }
+  table.add_separator();
+  table.add_row({"weighted mean", TablePrinter::pct(pess_mean), TablePrinter::pct(enh_mean), ""});
+  table.print();
+
+  std::printf("\npaper: weighted mean 57.7%% (pessimistic) / 68.4%% (enhanced);\n"
+              "       DS lowest->highest across policies, VFS/VM policy-independent\n");
+  std::printf("suite: %d passed, %d failed (must be 89/0)\n", enh.suite_passed, enh.suite_failed);
+  return enh.suite_failed == 0 ? 0 : 1;
+}

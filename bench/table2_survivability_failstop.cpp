@@ -1,0 +1,57 @@
+// Regenerates Table II: "Survivability under random fault injection of
+// fail-stop failure-mode faults".
+//
+// Profiles the prototype test suite once, draws a fail-stop injection plan
+// (null-deref at several execution points per triggered site), and applies
+// the identical plan under all four recovery policies, classifying every
+// run as pass / fail / shutdown / crash.
+//
+// Paper reference: stateless 19.6/0.0/0.0/80.4, naive 20.6/2.4/0.0/77.0,
+// pessimistic 18.5/0.0/81.3/0.2, enhanced 25.6/6.5/66.1/1.9.
+//
+// Environment:
+//   OSIRIS_POINTS_PER_SITE  trigger points per site (default 3)
+//   OSIRIS_SAMPLE           keep only every Nth injection (default 1 = all)
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/table_printer.hpp"
+#include "workload/campaign.hpp"
+
+using namespace osiris;
+using namespace osiris::workload;
+
+int main() {
+  const int points = std::getenv("OSIRIS_POINTS_PER_SITE")
+                         ? std::atoi(std::getenv("OSIRIS_POINTS_PER_SITE"))
+                         : 3;
+  const int sample =
+      std::getenv("OSIRIS_SAMPLE") ? std::atoi(std::getenv("OSIRIS_SAMPLE")) : 1;
+
+  std::vector<Injection> plan = plan_failstop(points);
+  if (sample > 1) {
+    std::vector<Injection> sampled;
+    for (std::size_t i = 0; i < plan.size(); i += sample) sampled.push_back(plan[i]);
+    plan = std::move(sampled);
+  }
+  std::printf("Table II — survivability under fail-stop fault injection\n");
+  std::printf("(%zu injections per policy; the same plan applied to every policy)\n\n",
+              plan.size());
+
+  TablePrinter table({"Recovery mode", "Pass", "Fail", "Shutdown", "Crash"});
+  for (auto policy : {seep::Policy::kStateless, seep::Policy::kNaive,
+                      seep::Policy::kPessimistic, seep::Policy::kEnhanced}) {
+    const CampaignTotals t = run_campaign(policy, plan);
+    table.add_row({seep::policy_name(policy), TablePrinter::pct(t.frac(t.pass)),
+                   TablePrinter::pct(t.frac(t.fail)), TablePrinter::pct(t.frac(t.shutdown)),
+                   TablePrinter::pct(t.frac(t.crash))});
+    std::fflush(stdout);
+  }
+  table.print();
+  std::printf(
+      "\npaper: stateless 19.6/0.0/0.0/80.4  naive 20.6/2.4/0.0/77.0\n"
+      "       pessimistic 18.5/0.0/81.3/0.2  enhanced 25.6/6.5/66.1/1.9\n"
+      "shape: enhanced completes the most runs; windowed policies nearly\n"
+      "eliminate crashes; stateless has no fail bucket and crashes dominate\n");
+  return 0;
+}

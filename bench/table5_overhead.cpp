@@ -1,0 +1,99 @@
+// Regenerates Table V: "Slowdown ratio (median slowdown ratio, lower is
+// better)" — the cost of the recovery instrumentation on the multiserver
+// baseline, in three configurations:
+//
+//   Without opt — undo-log updates on every store, even after the recovery
+//                 window closed (ckpt::Mode::kAlways);
+//   Pessimistic — window-gated logging, any outbound message closes windows;
+//   Enhanced    — window-gated logging, only state-modifying SEEPs close.
+//
+// Paper reference geomeans: 1.235 (without opt), 1.046 (pessimistic),
+// 1.054 (enhanced) — i.e. the SIV-D optimization collapses ~23% overhead
+// to ~5%, and pessimistic is slightly cheaper than enhanced because its
+// windows (and hence logging spans) are shorter.
+//
+// Environment: OSIRIS_RUNS (default 11), OSIRIS_ITER_SCALE (default 1.0).
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "support/stats.hpp"
+#include "support/table_printer.hpp"
+#include "workload/unixbench.hpp"
+
+using namespace osiris;
+using namespace osiris::workload;
+
+namespace {
+
+struct Config {
+  const char* name;
+  os::OsConfig cfg;
+};
+
+}  // namespace
+
+int main() {
+  const int runs = std::getenv("OSIRIS_RUNS") ? std::atoi(std::getenv("OSIRIS_RUNS")) : 11;
+  const double scale =
+      std::getenv("OSIRIS_ITER_SCALE") ? std::atof(std::getenv("OSIRIS_ITER_SCALE")) : 1.0;
+
+  os::OsConfig baseline;
+  baseline.recovery_enabled = false;
+  baseline.heartbeat_interval = 0;
+  baseline.ckpt_mode = ckpt::Mode::kOff;
+
+  os::OsConfig noopt;
+  noopt.policy = seep::Policy::kEnhanced;
+  noopt.ckpt_mode = ckpt::Mode::kAlways;  // the paper's unoptimized build
+
+  os::OsConfig pess;
+  pess.policy = seep::Policy::kPessimistic;
+  pess.ckpt_mode = ckpt::Mode::kWindowOnly;
+
+  os::OsConfig enh;
+  enh.policy = seep::Policy::kEnhanced;
+  enh.ckpt_mode = ckpt::Mode::kWindowOnly;
+
+  const std::vector<Config> configs = {
+      {"Without opt.", noopt}, {"Pessimistic", pess}, {"Enhanced", enh}};
+
+  std::printf("Table V — instrumentation slowdown vs uninstrumented baseline "
+              "(median of %d runs)\n\n", runs);
+
+  TablePrinter table({"Benchmark", "Without opt.", "Pessimistic", "Enhanced"});
+  std::vector<std::vector<double>> ratios(configs.size());
+  for (const UbWorkload& w : ub_workloads()) {
+    const auto iters = static_cast<std::uint64_t>(static_cast<double>(w.default_iters) * scale);
+    // Warm up (CPU frequency, allocator, caches), then interleave the
+    // configurations round-robin so drift hits all of them equally.
+    (void)run_ub_microkernel(baseline, w, iters);
+    std::vector<double> base_times;
+    std::vector<std::vector<double>> cfg_times(configs.size());
+    for (int r = 0; r < runs; ++r) {
+      base_times.push_back(run_ub_microkernel(baseline, w, iters));
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        cfg_times[c].push_back(run_ub_microkernel(configs[c].cfg, w, iters));
+      }
+    }
+    const double base_med = stats::median(base_times);
+    std::vector<std::string> row = {w.name};
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const double ratio = stats::median(cfg_times[c]) / base_med;
+      ratios[c].push_back(ratio);
+      row.push_back(TablePrinter::fmt(ratio, 3));
+    }
+    table.add_row(row);
+    std::fflush(stdout);
+  }
+  table.add_separator();
+  table.add_row({"geomean", TablePrinter::fmt(stats::geomean(ratios[0]), 3),
+                 TablePrinter::fmt(stats::geomean(ratios[1]), 3),
+                 TablePrinter::fmt(stats::geomean(ratios[2]), 3)});
+  table.print();
+  std::printf(
+      "\npaper geomeans: 1.235 / 1.046 / 1.054 — disabling undo-log updates\n"
+      "outside the recovery window collapses the overhead from ~23%% to ~5%%;\n"
+      "compute-bound rows stay at ~1.00 in every configuration.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Compare the four recovery policies on the same fault.
+//
+// One fail-stop fault is injected at the same execution point of the same
+// Data Store site under each policy; the example shows how the machine's
+// fate differs: enhanced/pessimistic recover (or shut down consistently),
+// naive limps or cascades, stateless loses state and wedges.
+//
+//   $ ./build/examples/recovery_policies
+#include <cstdio>
+#include <cstring>
+
+#include "fi/registry.hpp"
+#include "os/instance.hpp"
+#include "support/table_printer.hpp"
+#include "workload/suite.hpp"
+
+using namespace osiris;
+
+namespace {
+
+struct Result {
+  os::OsInstance::Outcome outcome;
+  int ds_ops_ok = 0;
+  int ds_ops_failed = 0;
+  std::uint32_t recoveries = 0;
+};
+
+std::uint64_t g_trigger_hit = 0;
+const fi::Site* g_site = nullptr;
+
+/// Profile the demo workload once without faults: find DS's busiest site
+/// and a trigger point that lands inside the user's publish loop.
+void profile_demo() {
+  fi::Registry::instance().disarm();
+  fi::Registry::instance().reset_counts();
+  os::OsConfig cfg;
+  os::OsInstance inst(cfg);
+  workload::register_suite_programs(inst.programs());
+  inst.boot();
+  inst.run([](os::ISys& sys) {
+    for (int i = 0; i < 20; ++i) sys.ds_publish("demo.key" + std::to_string(i), 1);
+  });
+  fi::Site* best = nullptr;
+  for (fi::Site* s : fi::Registry::instance().sites()) {
+    if (std::strcmp(s->tag, "ds") == 0 && (best == nullptr || s->hits > best->hits)) best = s;
+  }
+  OSIRIS_ASSERT(best != nullptr && best->hits > 4);
+  g_site = best;
+  g_trigger_hit = best->hits * 3 / 4;  // well inside the user's loop
+}
+
+Result run_under(seep::Policy policy) {
+  fi::Registry::instance().disarm();
+  fi::Registry::instance().reset_counts();
+  os::OsConfig cfg;
+  cfg.policy = policy;
+  os::OsInstance inst(cfg);
+  workload::register_suite_programs(inst.programs());
+  inst.boot();
+
+  fi::Registry::instance().arm(g_site, fi::FaultType::kNullDeref, g_trigger_hit);
+
+  Result res;
+  Result* out = &res;
+  res.outcome = inst.run([out](os::ISys& sys) {
+    for (int i = 0; i < 20; ++i) {
+      const std::string key = "demo.key" + std::to_string(i);
+      if (sys.ds_publish(key, static_cast<std::uint64_t>(i)) != kernel::OK) {
+        ++out->ds_ops_failed;
+        continue;
+      }
+      std::uint64_t v = 0;
+      if (sys.ds_retrieve(key, &v) == kernel::OK && v == static_cast<std::uint64_t>(i)) {
+        ++out->ds_ops_ok;
+      } else {
+        ++out->ds_ops_failed;
+      }
+    }
+  });
+  res.recoveries = inst.engine().recoveries_of(kernel::kDsEp);
+  fi::Registry::instance().disarm();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  profile_demo();
+  std::printf("One fail-stop fault in the Data Store, four recovery policies:\n\n");
+  TablePrinter table({"Policy", "Machine fate", "DS ops ok", "DS ops failed", "DS recoveries"});
+  for (auto policy : {seep::Policy::kStateless, seep::Policy::kNaive,
+                      seep::Policy::kPessimistic, seep::Policy::kEnhanced}) {
+    const Result r = run_under(policy);
+    table.add_row({seep::policy_name(policy), os::OsInstance::outcome_name(r.outcome),
+                   std::to_string(r.ds_ops_ok), std::to_string(r.ds_ops_failed),
+                   std::to_string(r.recoveries)});
+  }
+  table.print();
+  std::printf(
+      "\nreading the table: the enhanced policy keeps DS's recovery window\n"
+      "open across its early subscriber notification, so the crash is rolled\n"
+      "back and error-virtualized (one failed op, everything else clean);\n"
+      "pessimistic may have to shut down instead; stateless loses the store\n"
+      "and never answers the in-flight request.\n");
+  return 0;
+}

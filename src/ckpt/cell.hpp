@@ -1,0 +1,201 @@
+// Instrumented state wrappers — the source-level equivalent of the paper's
+// LLVM store-instrumentation pass.
+//
+// All *recoverable* state of a system server must be built from these types
+// (inside a trivially-copyable State struct), so that
+//   (1) every store is preceded by an undo-log record of the old bytes, and
+//   (2) the Recovery Server can transfer the whole data section into a spare
+//       clone with one memcpy (restart phase, SIV-C).
+//
+// Reads are free; only mutations pay the (mode-gated) logging cost, matching
+// the store-only instrumentation in the paper.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+
+#include "ckpt/context.hpp"
+#include "support/common.hpp"
+#include "support/fixed_string.hpp"
+
+namespace osiris::ckpt {
+
+/// A single instrumented scalar.
+template <typename T>
+class Cell {
+  static_assert(std::is_trivially_copyable_v<T>, "recoverable state must be trivially copyable");
+
+ public:
+  constexpr Cell() = default;
+  constexpr explicit Cell(T v) : v_(v) {}
+
+  Cell& operator=(const T& nv) {
+    Context::log_write(&v_, sizeof(T));
+    v_ = nv;
+    return *this;
+  }
+
+  operator const T&() const noexcept { return v_; }  // NOLINT(google-explicit-constructor)
+  [[nodiscard]] const T& get() const noexcept { return v_; }
+
+  Cell& operator+=(const T& d) { return *this = static_cast<T>(v_ + d); }
+  Cell& operator-=(const T& d) { return *this = static_cast<T>(v_ - d); }
+  Cell& operator|=(const T& d) { return *this = static_cast<T>(v_ | d); }
+  Cell& operator&=(const T& d) { return *this = static_cast<T>(v_ & d); }
+  Cell& operator++() { return *this += T{1}; }
+  Cell& operator--() { return *this -= T{1}; }
+
+ private:
+  T v_{};
+};
+
+/// A fixed-capacity instrumented array of trivially-copyable elements.
+template <typename T, std::size_t N>
+class Array {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  [[nodiscard]] static constexpr std::size_t size() noexcept { return N; }
+
+  [[nodiscard]] const T& at(std::size_t i) const noexcept {
+    OSIRIS_ASSERT(i < N);
+    return elems_[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return at(i); }
+
+  /// Logged whole-element store.
+  void set(std::size_t i, const T& v) {
+    OSIRIS_ASSERT(i < N);
+    Context::log_write(&elems_[i], sizeof(T));
+    elems_[i] = v;
+  }
+
+  /// Logs the element's old bytes once, then hands out a mutable reference
+  /// for in-place updates (the idiom for struct-valued table entries).
+  [[nodiscard]] T& mutate(std::size_t i) {
+    OSIRIS_ASSERT(i < N);
+    Context::log_write(&elems_[i], sizeof(T));
+    return elems_[i];
+  }
+
+  void fill(const T& v) {
+    Context::log_write(elems_, sizeof(elems_));
+    for (std::size_t i = 0; i < N; ++i) elems_[i] = v;
+  }
+
+  /// Fine-grained logged store of a contiguous range — used for buffers
+  /// (e.g. pipe data) where logging whole elements would bloat the undo log.
+  void store_range(std::size_t first, const T* src, std::size_t n) {
+    OSIRIS_ASSERT(first <= N && n <= N - first);
+    if (n == 0) return;
+    Context::log_write(&elems_[first], n * sizeof(T));
+    std::memcpy(&elems_[first], src, n * sizeof(T));
+  }
+
+  /// Raw read-only pointer into the array (for bulk copies out).
+  [[nodiscard]] const T* raw() const noexcept { return elems_; }
+
+ private:
+  T elems_[N]{};
+};
+
+/// Instrumented fixed-capacity string.
+template <std::size_t N>
+class Str {
+ public:
+  Str& operator=(std::string_view s) {
+    Context::log_write(&v_, sizeof(v_));
+    v_.assign(s);
+    return *this;
+  }
+
+  [[nodiscard]] std::string_view view() const noexcept { return v_.view(); }
+  [[nodiscard]] const char* c_str() const noexcept { return v_.c_str(); }
+  [[nodiscard]] bool empty() const noexcept { return v_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return v_.size(); }
+
+  friend bool operator==(const Str& a, std::string_view b) noexcept { return a.view() == b; }
+
+ private:
+  FixedString<N> v_;
+};
+
+/// Fixed-capacity slot table with an instrumented allocation bitmap — the
+/// shape of every kernel-style object table (process table, fd table, inode
+/// table, ...). Slot indices are stable, which recovery requires: rollback
+/// restores raw bytes at fixed addresses.
+template <typename T, std::size_t N>
+class Table {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] static constexpr std::size_t capacity() noexcept { return N; }
+  [[nodiscard]] std::size_t in_use_count() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < N; ++i) n += used_[i] ? 1 : 0;
+    return n;
+  }
+
+  [[nodiscard]] bool in_use(std::size_t i) const noexcept {
+    OSIRIS_ASSERT(i < N);
+    return used_[i];
+  }
+
+  /// Allocate a free slot (value-initialized); npos if the table is full.
+  std::size_t alloc() {
+    for (std::size_t i = 0; i < N; ++i) {
+      if (!used_[i]) {
+        Context::log_write(&used_[i], sizeof(bool));
+        used_[i] = true;
+        Context::log_write(&elems_[i], sizeof(T));
+        elems_[i] = T{};
+        return i;
+      }
+    }
+    return npos;
+  }
+
+  void free(std::size_t i) {
+    OSIRIS_ASSERT(i < N && used_[i]);
+    Context::log_write(&used_[i], sizeof(bool));
+    used_[i] = false;
+  }
+
+  [[nodiscard]] const T& at(std::size_t i) const noexcept {
+    OSIRIS_ASSERT(i < N && used_[i]);
+    return elems_[i];
+  }
+
+  [[nodiscard]] T& mutate(std::size_t i) {
+    OSIRIS_ASSERT(i < N && used_[i]);
+    Context::log_write(&elems_[i], sizeof(T));
+    return elems_[i];
+  }
+
+  /// First in-use slot satisfying `pred`, or npos.
+  template <typename Pred>
+  [[nodiscard]] std::size_t find(Pred pred) const {
+    for (std::size_t i = 0; i < N; ++i) {
+      if (used_[i] && pred(elems_[i])) return i;
+    }
+    return npos;
+  }
+
+  /// Invoke `fn(index, const T&)` for every in-use slot.
+  template <typename Fn>
+  void for_each(Fn fn) const {
+    for (std::size_t i = 0; i < N; ++i) {
+      if (used_[i]) fn(i, elems_[i]);
+    }
+  }
+
+ private:
+  bool used_[N]{};
+  T elems_[N]{};
+};
+
+}  // namespace osiris::ckpt

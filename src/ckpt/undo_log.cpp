@@ -1,0 +1,50 @@
+#include "ckpt/undo_log.hpp"
+
+#include <cstring>
+
+#include "support/common.hpp"
+
+namespace osiris::ckpt {
+
+UndoLog::UndoLog() : canary_head_(kCanary), canary_tail_(kCanary) {
+  entries_.reserve(64);
+  old_bytes_.reserve(1024);
+}
+
+void UndoLog::record(void* addr, std::size_t len) {
+  OSIRIS_ASSERT(len > 0);
+  const auto off = static_cast<std::uint32_t>(old_bytes_.size());
+  old_bytes_.resize(old_bytes_.size() + len);
+  std::memcpy(old_bytes_.data() + off, addr, len);
+  entries_.push_back(Entry{addr, static_cast<std::uint32_t>(len), off});
+  ++stats_.records;
+  stats_.bytes_logged += len;
+  const std::size_t live = live_bytes();
+  if (live > stats_.max_log_bytes) stats_.max_log_bytes = live;
+}
+
+void UndoLog::rollback() {
+  OSIRIS_ASSERT(integrity_ok());
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    std::memcpy(it->addr, old_bytes_.data() + it->data_off, it->len);
+  }
+  entries_.clear();
+  old_bytes_.clear();
+  ++stats_.rollbacks;
+}
+
+void UndoLog::checkpoint() {
+  entries_.clear();
+  old_bytes_.clear();
+  ++stats_.checkpoints;
+}
+
+std::size_t UndoLog::live_bytes() const noexcept {
+  return entries_.size() * sizeof(Entry) + old_bytes_.size();
+}
+
+bool UndoLog::integrity_ok() const noexcept {
+  return canary_head_ == kCanary && canary_tail_ == kCanary;
+}
+
+}  // namespace osiris::ckpt

@@ -1,0 +1,73 @@
+// Per-component undo log (paper SIV-C).
+//
+// A checkpoint in OSIRIS is not a state copy: it is the *empty undo log* at
+// the top of the request processing loop. Every instrumented store appends
+// (address, original bytes); restoring the checkpoint replays the entries in
+// reverse. This favours the paper's observation that OS components do a
+// small amount of work per message, so logs stay tiny and checkpoint
+// creation (log reset) is O(1).
+//
+// The log lives in the Reliable Computing Base. The paper protects it with
+// software fault isolation; we model that with canaries validated on every
+// rollback (a corrupted log would indicate an RCB violation and panics the
+// simulator, because the experiment would be meaningless).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace osiris::ckpt {
+
+struct UndoLogStats {
+  std::uint64_t records = 0;        // total record() calls since boot
+  std::uint64_t bytes_logged = 0;   // total bytes captured since boot
+  std::size_t max_log_bytes = 0;    // high-water mark of live log size (Table VI)
+  std::uint64_t rollbacks = 0;
+  std::uint64_t checkpoints = 0;    // reset() calls
+};
+
+class UndoLog {
+ public:
+  UndoLog();
+
+  UndoLog(const UndoLog&) = delete;
+  UndoLog& operator=(const UndoLog&) = delete;
+
+  /// Record the current contents of [addr, addr+len) for rollback.
+  void record(void* addr, std::size_t len);
+
+  /// Roll back all recorded writes (newest first), leaving the log empty.
+  void rollback();
+
+  /// Discard the log: this *is* checkpoint creation at the top of the loop.
+  void checkpoint();
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t entry_count() const noexcept { return entries_.size(); }
+
+  /// Live size of the log in bytes (entries + saved data).
+  [[nodiscard]] std::size_t live_bytes() const noexcept;
+
+  [[nodiscard]] const UndoLogStats& stats() const noexcept { return stats_; }
+
+  /// SFI-style integrity check of the log's guard canaries.
+  [[nodiscard]] bool integrity_ok() const noexcept;
+
+ private:
+  struct Entry {
+    void* addr;
+    std::uint32_t len;
+    std::uint32_t data_off;  // offset into old_bytes_
+  };
+
+  static constexpr std::uint64_t kCanary = 0x05151515'0B51B150ULL;
+
+  std::uint64_t canary_head_;
+  std::vector<Entry> entries_;
+  std::vector<std::byte> old_bytes_;
+  UndoLogStats stats_;
+  std::uint64_t canary_tail_;
+};
+
+}  // namespace osiris::ckpt

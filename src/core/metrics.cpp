@@ -1,0 +1,66 @@
+#include "core/metrics.hpp"
+
+#include "support/table_printer.hpp"
+
+namespace osiris::core {
+
+SystemMetrics collect_metrics(os::OsInstance& inst) {
+  SystemMetrics m;
+  std::uint64_t total_hits = 0;
+  double weighted = 0.0;
+  for (recovery::Recoverable* comp : inst.components()) {
+    ComponentMetrics cm;
+    cm.name = std::string(comp->name());
+    const seep::WindowStats& ws = comp->window().stats();
+    cm.recovery_coverage = ws.coverage();
+    cm.windows_opened = ws.opened;
+    cm.closed_by_seep = ws.closed_by_seep;
+    cm.closed_by_yield = ws.closed_by_yield;
+    cm.state_bytes = comp->data_section_size();
+    cm.clone_bytes = inst.engine().clone_bytes(comp->endpoint());
+    const ckpt::UndoLogStats& ls = comp->ckpt_context().log().stats();
+    cm.max_undo_log_bytes = ls.max_log_bytes;
+    cm.undo_records = ls.records;
+    cm.recoveries = inst.engine().recoveries_of(comp->endpoint());
+    const std::uint64_t hits = ws.probe_hits_inside + ws.probe_hits_outside;
+    total_hits += hits;
+    weighted += ws.coverage() * static_cast<double>(hits);
+    m.components.push_back(std::move(cm));
+  }
+  m.weighted_coverage = total_hits > 0 ? weighted / static_cast<double>(total_hits) : 0.0;
+
+  const kernel::KernelStats& ks = inst.kern().stats();
+  m.messages = ks.messages_queued;
+  m.nested_calls = ks.nested_calls;
+  m.crashes = ks.crashes;
+  m.hangs = ks.hangs;
+
+  const recovery::EngineStats& es = inst.engine().stats();
+  m.restarts = es.restarts;
+  m.rollbacks = es.rollbacks;
+  m.error_replies = es.error_replies;
+  m.shutdowns = es.shutdowns;
+  return m;
+}
+
+std::string SystemMetrics::report() const {
+  TablePrinter t({"Component", "Coverage", "Windows", "Closed(SEEP/yield)", "State B",
+                  "Clone B", "MaxLog B", "Recoveries"});
+  for (const ComponentMetrics& c : components) {
+    t.add_row({c.name, TablePrinter::pct(c.recovery_coverage), std::to_string(c.windows_opened),
+               std::to_string(c.closed_by_seep) + "/" + std::to_string(c.closed_by_yield),
+               std::to_string(c.state_bytes), std::to_string(c.clone_bytes),
+               std::to_string(c.max_undo_log_bytes), std::to_string(c.recoveries)});
+  }
+  std::string out = t.str();
+  out += "weighted coverage: " + TablePrinter::pct(weighted_coverage) + "\n";
+  out += "kernel: " + std::to_string(messages) + " messages, " + std::to_string(nested_calls) +
+         " nested calls, " + std::to_string(crashes) + " crashes, " + std::to_string(hangs) +
+         " hangs\n";
+  out += "engine: " + std::to_string(restarts) + " restarts, " + std::to_string(rollbacks) +
+         " rollbacks, " + std::to_string(error_replies) + " error replies, " +
+         std::to_string(shutdowns) + " shutdowns\n";
+  return out;
+}
+
+}  // namespace osiris::core

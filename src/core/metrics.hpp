@@ -1,0 +1,48 @@
+// System-wide metrics snapshot: one structure aggregating everything the
+// paper's evaluation measures, collected from a live (or finished) machine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "os/instance.hpp"
+
+namespace osiris::core {
+
+struct ComponentMetrics {
+  std::string name;
+  double recovery_coverage = 0.0;     // Table I quantity
+  std::uint64_t windows_opened = 0;
+  std::uint64_t closed_by_seep = 0;
+  std::uint64_t closed_by_yield = 0;
+  std::size_t state_bytes = 0;        // Table VI "base"
+  std::size_t clone_bytes = 0;        // Table VI "+clone"
+  std::size_t max_undo_log_bytes = 0;  // Table VI "+undo log"
+  std::uint64_t undo_records = 0;
+  std::uint32_t recoveries = 0;
+};
+
+struct SystemMetrics {
+  std::vector<ComponentMetrics> components;
+  double weighted_coverage = 0.0;
+
+  // kernel substrate
+  std::uint64_t messages = 0;
+  std::uint64_t nested_calls = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t hangs = 0;
+
+  // recovery engine
+  std::uint64_t restarts = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t error_replies = 0;
+  std::uint64_t shutdowns = 0;
+
+  /// Render a human-readable report.
+  [[nodiscard]] std::string report() const;
+};
+
+/// Snapshot all metrics from a machine (typically after run()).
+SystemMetrics collect_metrics(os::OsInstance& inst);
+
+}  // namespace osiris::core

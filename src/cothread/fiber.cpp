@@ -1,0 +1,66 @@
+#include "cothread/fiber.hpp"
+
+#include "support/common.hpp"
+
+namespace osiris::cothread {
+namespace {
+
+thread_local Fiber* g_current = nullptr;
+
+}  // namespace
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_size)
+    : fn_(std::move(fn)),
+      stack_size_(stack_size),
+      stack_(new std::byte[stack_size]) {  // default-init: no zeroing cost
+  OSIRIS_ASSERT(fn_ != nullptr);
+  OSIRIS_ASSERT(stack_size >= 16 * 1024);
+}
+
+Fiber::~Fiber() {
+  // Destroying a suspended fiber abandons its stack without unwinding; the
+  // simulator only does this at teardown of a whole OS instance.
+}
+
+Fiber* Fiber::current() noexcept { return g_current; }
+
+void Fiber::trampoline() {
+  Fiber* self = g_current;
+  try {
+    self->fn_();
+  } catch (...) {
+    self->pending_exception_ = std::current_exception();
+  }
+  self->state_ = State::kFinished;
+  // Return to the resumer for the last time. swapcontext (not setcontext)
+  // keeps ctx_ valid, though it is never resumed again.
+  swapcontext(&self->ctx_, &self->link_);
+  OSIRIS_PANIC("resumed a finished fiber");
+}
+
+void Fiber::resume() {
+  OSIRIS_ASSERT(state_ == State::kReady || state_ == State::kSuspended);
+  if (state_ == State::kReady) {
+    getcontext(&ctx_);
+    ctx_.uc_stack.ss_sp = stack_.get();
+    ctx_.uc_stack.ss_size = stack_size_;
+    ctx_.uc_link = &link_;
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+  }
+  Fiber* prev = g_current;
+  g_current = this;
+  state_ = State::kRunning;
+  swapcontext(&link_, &ctx_);
+  g_current = prev;
+  if (state_ == State::kRunning) state_ = State::kSuspended;
+}
+
+void Fiber::suspend() {
+  Fiber* self = g_current;
+  OSIRIS_ASSERT(self != nullptr);
+  self->state_ = State::kSuspended;
+  swapcontext(&self->ctx_, &self->link_);
+  self->state_ = State::kRunning;
+}
+
+}  // namespace osiris::cothread

@@ -1,0 +1,70 @@
+// Cooperative fibers (ucontext-based).
+//
+// OSIRIS uses fibers in two places, matching the paper's prototype:
+//  - every simulated user process runs as a fiber, so the 89 test-suite
+//    programs and the unixbench workloads are written as straight-line code
+//    whose syscalls suspend until the server's reply arrives;
+//  - the VFS server is multithreaded (paper SV): worker threads block on
+//    disk I/O, and the recovery window is forcibly closed on yield (SIV-E).
+//
+// Exceptions never propagate across a context switch: anything escaping the
+// fiber body is captured as std::exception_ptr and handed to the resumer,
+// which decides whether to rethrow on its own stack (this is how a fail-stop
+// fault inside a VFS worker reaches the kernel's dispatch boundary).
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+
+namespace osiris::cothread {
+
+class Fiber {
+ public:
+  enum class State : std::uint8_t { kReady, kRunning, kSuspended, kFinished };
+
+  explicit Fiber(std::function<void()> fn, std::size_t stack_size = 128 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switch into the fiber (start or continue it). Returns when the fiber
+  /// suspends or finishes. Must not be called from inside a fiber that is
+  /// already on the resume chain.
+  void resume();
+
+  /// Called from inside the fiber: switch back to the resumer.
+  static void suspend();
+
+  /// The fiber currently executing on this thread, or nullptr on the main
+  /// context.
+  static Fiber* current() noexcept;
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] bool finished() const noexcept { return state_ == State::kFinished; }
+
+  /// Exception that escaped the fiber body during the last resume(), if any.
+  /// Fetching it clears it.
+  [[nodiscard]] std::exception_ptr take_exception() noexcept {
+    auto e = pending_exception_;
+    pending_exception_ = nullptr;
+    return e;
+  }
+
+ private:
+  static void trampoline();
+
+  std::function<void()> fn_;
+  std::size_t stack_size_;
+  std::unique_ptr<std::byte[]> stack_;  // intentionally uninitialized
+  ucontext_t ctx_{};
+  ucontext_t link_{};
+  State state_ = State::kReady;
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace osiris::cothread

@@ -1,0 +1,63 @@
+// Fault model (paper SII-E, SVI-B).
+//
+// Two campaigns mirror the paper's: a *fail-stop* campaign injecting only
+// immediate crashes (the model OSIRIS is designed for), and a *full EDFI*
+// campaign adding realistic fail-silent software faults (corrupted values,
+// flipped branches, off-by-one errors, hangs, delayed crashes) that violate
+// the fail-stop assumption and measure the design's robustness beyond it.
+#pragma once
+
+#include <cstdint>
+
+namespace osiris::fi {
+
+enum class FaultType : std::uint8_t {
+  kNone = 0,
+  // --- fail-stop model -------------------------------------------------
+  kNullDeref,     // immediate fail-stop trap (NULL-pointer dereference)
+  // --- additional EDFI software fault types ------------------------------
+  kCorruptValue,  // silently corrupts a computed value (fail-silent)
+  kOffByOne,      // off-by-one on a size / index / count
+  kBranchFlip,    // inverts a branch decision (wrong control flow)
+  kHang,          // the component stops responding (heartbeat-detected)
+  kDelayedCrash,  // silent at first, crashes a few executions later
+};
+
+[[nodiscard]] constexpr const char* fault_name(FaultType t) {
+  switch (t) {
+    case FaultType::kNone: return "none";
+    case FaultType::kNullDeref: return "null-deref";
+    case FaultType::kCorruptValue: return "corrupt-value";
+    case FaultType::kOffByOne: return "off-by-one";
+    case FaultType::kBranchFlip: return "branch-flip";
+    case FaultType::kHang: return "hang";
+    case FaultType::kDelayedCrash: return "delayed-crash";
+  }
+  return "?";
+}
+
+/// What kind of program location a probe instruments; constrains which fault
+/// types can be injected there (EDFI's "fault candidate" applicability).
+enum class SiteKind : std::uint8_t {
+  kBlock,   // plain basic block: null-deref, hang, delayed-crash
+  kValue,   // a computed value: corrupt-value, off-by-one (plus block faults)
+  kBranch,  // a branch condition: branch-flip (plus block faults)
+};
+
+[[nodiscard]] constexpr bool applicable(SiteKind kind, FaultType t) {
+  switch (t) {
+    case FaultType::kNone: return false;
+    case FaultType::kNullDeref:
+    case FaultType::kHang:
+    case FaultType::kDelayedCrash:
+      return true;  // any site models an executable location
+    case FaultType::kCorruptValue:
+    case FaultType::kOffByOne:
+      return kind == SiteKind::kValue;
+    case FaultType::kBranchFlip:
+      return kind == SiteKind::kBranch;
+  }
+  return false;
+}
+
+}  // namespace osiris::fi

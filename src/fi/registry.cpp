@@ -1,0 +1,157 @@
+#include "fi/registry.hpp"
+
+#include "support/common.hpp"
+#include "support/log.hpp"
+
+namespace osiris::fi {
+
+Site::Site(const char* f, int l, const char* t, SiteKind k)
+    : file(f), line(l), tag(t), kind(k) {
+  Registry::instance().register_site(this);
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::register_site(Site* site) {
+  site->id = next_id_++;
+  sites_.push_back(site);
+}
+
+void Registry::reset_counts() {
+  for (Site* s : sites_) s->hits = 0;
+  delayed_pending_ = false;
+}
+
+void Registry::mark_boot_complete() {
+  for (Site* s : sites_) {
+    s->boot_hits = s->hits;
+    s->hits = 0;
+  }
+  delayed_pending_ = false;
+}
+
+void Registry::arm(const Site* site, FaultType type, std::uint64_t trigger_hit,
+                   std::uint64_t delay) {
+  OSIRIS_ASSERT(site != nullptr && type != FaultType::kNone && trigger_hit >= 1);
+  OSIRIS_ASSERT(applicable(site->kind, type));
+  armed_site_ = site;
+  armed_type_ = type;
+  trigger_hit_ = trigger_hit;
+  delay_ = delay;
+  delayed_pending_ = false;
+}
+
+void Registry::arm_periodic_window_crash(const Site* site, std::uint64_t hit_interval) {
+  OSIRIS_ASSERT(site != nullptr && hit_interval >= 1);
+  periodic_site_ = site;
+  periodic_interval_ = hit_interval;
+  periodic_last_fire_ = 0;
+}
+
+void Registry::disarm() {
+  armed_site_ = nullptr;
+  armed_type_ = FaultType::kNone;
+  delayed_pending_ = false;
+  periodic_site_ = nullptr;
+  periodic_interval_ = 0;
+}
+
+FaultType Registry::on_hit(Site* site) {
+  ++site->hits;
+  // Coverage accounting for Table I.
+  if (active_.window != nullptr) active_.window->probe_hit();
+
+  if (site == periodic_site_) {
+    if (site->hits >= periodic_last_fire_ + periodic_interval_ &&
+        active_.window != nullptr && active_.window->is_open()) {
+      periodic_last_fire_ = site->hits;
+      ++fired_;
+      return FaultType::kNullDeref;
+    }
+    return FaultType::kNone;
+  }
+
+  if (site != armed_site_) return FaultType::kNone;
+
+  if (delayed_pending_ && site->hits >= trigger_hit_ + delay_) {
+    delayed_pending_ = false;
+    ++fired_;
+    return FaultType::kNullDeref;  // the deferred crash of kDelayedCrash
+  }
+  if (site->hits != trigger_hit_) return FaultType::kNone;
+
+  if (armed_type_ == FaultType::kDelayedCrash) {
+    delayed_pending_ = true;
+    ++fired_;
+    return FaultType::kCorruptValue;  // silent damage now, crash later
+  }
+  ++fired_;
+  return armed_type_;
+}
+
+namespace {
+
+[[noreturn]] void realize_crash(const Site* site) {
+  throw kernel::FailStopFault(
+      std::string("injected null-deref at ") + site->tag + ":" + std::to_string(site->line),
+      site->id);
+}
+
+}  // namespace
+
+void block_probe(Site* site) {
+  switch (Registry::instance().on_hit(site)) {
+    case FaultType::kNone:
+    case FaultType::kCorruptValue:  // silent damage has nothing to corrupt here
+    case FaultType::kOffByOne:
+    case FaultType::kBranchFlip:
+      return;
+    case FaultType::kNullDeref:
+      realize_crash(site);
+    case FaultType::kHang:
+      OSIRIS_DEBUG("fi", "injected hang at %s:%d", site->tag, site->line);
+      throw kernel::HangSuspend{};
+    case FaultType::kDelayedCrash:
+      return;  // handled inside on_hit()
+  }
+}
+
+std::int64_t value_probe(Site* site, std::int64_t v) {
+  switch (Registry::instance().on_hit(site)) {
+    case FaultType::kNone:
+    case FaultType::kBranchFlip:
+    case FaultType::kDelayedCrash:
+      return v;
+    case FaultType::kCorruptValue:
+      return v ^ 0x2A;  // silent corruption
+    case FaultType::kOffByOne:
+      return v + 1;
+    case FaultType::kNullDeref:
+      realize_crash(site);
+    case FaultType::kHang:
+      throw kernel::HangSuspend{};
+  }
+  return v;
+}
+
+bool branch_probe(Site* site, bool cond) {
+  switch (Registry::instance().on_hit(site)) {
+    case FaultType::kNone:
+    case FaultType::kCorruptValue:
+    case FaultType::kOffByOne:
+    case FaultType::kDelayedCrash:
+      return cond;
+    case FaultType::kBranchFlip:
+      return !cond;
+    case FaultType::kNullDeref:
+      realize_crash(site);
+    case FaultType::kHang:
+      throw kernel::HangSuspend{};
+  }
+  return cond;
+}
+
+}  // namespace osiris::fi

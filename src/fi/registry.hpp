@@ -1,0 +1,138 @@
+// Fault-site registry and probe runtime.
+//
+// FI_BLOCK / FI_VALUE / FI_BRANCH probes are placed throughout the system
+// servers (and nowhere in the RCB), standing in for EDFI's compile-time
+// fault candidates. Each probe serves three roles:
+//
+//   1. coverage: it reports a basic-block execution to the current
+//      component's recovery window (the Table I numerator/denominator);
+//   2. profiling: it counts per-site executions, which the campaign driver
+//      uses to select triggered, non-boot-time fault candidates (SVI-B);
+//   3. injection: when the campaign has armed this site, the probe triggers
+//      the planted fault at the configured execution number.
+//
+// Sites register themselves on first execution via function-local statics,
+// so their identity is stable across the thousands of runs in a campaign.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fi/fault.hpp"
+#include "kernel/faults.hpp"
+#include "seep/window.hpp"
+
+namespace osiris::fi {
+
+struct Site {
+  const char* file;
+  int line;
+  const char* tag;    // subsystem tag, e.g. "pm", "vfs"
+  SiteKind kind;
+  std::uint64_t id = 0;       // assigned by the registry
+  std::uint64_t hits = 0;     // executions since the last reset
+  std::uint64_t boot_hits = 0;  // executions during boot (excluded candidates)
+
+  Site(const char* f, int l, const char* t, SiteKind k);
+};
+
+/// Per-component probe attribution, installed by ServerBase around dispatch.
+struct ActiveComponent {
+  seep::Window* window = nullptr;
+  int endpoint = -1;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  // --- site management --------------------------------------------------
+  void register_site(Site* site);
+  [[nodiscard]] const std::vector<Site*>& sites() const noexcept { return sites_; }
+
+  /// Zero all per-run execution counters (called between campaign runs).
+  void reset_counts();
+
+  /// Snapshot current counts into boot_hits and zero them: everything
+  /// executed so far is boot-time and excluded from fault candidacy.
+  void mark_boot_complete();
+
+  // --- probe attribution --------------------------------------------------
+  void set_active(ActiveComponent ac) noexcept { active_ = ac; }
+  [[nodiscard]] ActiveComponent active() const noexcept { return active_; }
+
+  // --- injection plan -----------------------------------------------------
+  /// Arm one fault: `site` triggers `type` on its `trigger_hit`-th execution
+  /// (1-based, counted from the last reset). kDelayedCrash additionally
+  /// crashes `delay` executions after triggering.
+  void arm(const Site* site, FaultType type, std::uint64_t trigger_hit,
+           std::uint64_t delay = 3);
+  /// Figure 3 driver: realize a fail-stop fault at `site` every
+  /// `hit_interval` executions, but only while the active component's
+  /// recovery window is OPEN (the paper injects only inside the window so
+  /// every fault is consistently recoverable and the benchmark completes).
+  void arm_periodic_window_crash(const Site* site, std::uint64_t hit_interval);
+
+  void disarm();
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_site_ != nullptr || periodic_site_ != nullptr;
+  }
+  [[nodiscard]] std::uint64_t injections_fired() const noexcept { return fired_; }
+
+  // --- probe fast path ------------------------------------------------
+  /// Called on every probe execution. Returns the fault type to realize at
+  /// this execution (kNone almost always).
+  FaultType on_hit(Site* site);
+
+ private:
+  Registry() = default;
+
+  std::vector<Site*> sites_;
+  ActiveComponent active_;
+  const Site* armed_site_ = nullptr;
+  FaultType armed_type_ = FaultType::kNone;
+  std::uint64_t trigger_hit_ = 0;
+  std::uint64_t delay_ = 0;
+  bool delayed_pending_ = false;
+  const Site* periodic_site_ = nullptr;
+  std::uint64_t periodic_interval_ = 0;
+  std::uint64_t periodic_last_fire_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+// --- probe implementation functions (called via the macros below) ---------
+
+/// Plain basic-block probe: may realize kNullDeref / kHang / kDelayedCrash.
+void block_probe(Site* site);
+
+/// Value probe: returns `v`, possibly corrupted (kCorruptValue, kOffByOne).
+std::int64_t value_probe(Site* site, std::int64_t v);
+
+/// Branch probe: returns `cond`, possibly flipped (kBranchFlip).
+bool branch_probe(Site* site, bool cond);
+
+}  // namespace osiris::fi
+
+// Probe macros. `tag` is the subsystem name; each expansion is one site.
+#define FI_BLOCK(tag)                                                            \
+  do {                                                                           \
+    static ::osiris::fi::Site _fi_site(__FILE__, __LINE__, (tag),                \
+                                       ::osiris::fi::SiteKind::kBlock);          \
+    ::osiris::fi::block_probe(&_fi_site);                                        \
+  } while (0)
+
+#define FI_VALUE(tag, v)                                                         \
+  ([&]() -> std::int64_t {                                                       \
+    static ::osiris::fi::Site _fi_site(__FILE__, __LINE__, (tag),                \
+                                       ::osiris::fi::SiteKind::kValue);          \
+    return ::osiris::fi::value_probe(&_fi_site, static_cast<std::int64_t>(v));   \
+  }())
+
+#define FI_BRANCH(tag, cond)                                                     \
+  ([&]() -> bool {                                                               \
+    static ::osiris::fi::Site _fi_site(__FILE__, __LINE__, (tag),                \
+                                       ::osiris::fi::SiteKind::kBranch);         \
+    return ::osiris::fi::branch_probe(&_fi_site, static_cast<bool>(cond));       \
+  }())

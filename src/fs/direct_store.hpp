@@ -1,0 +1,26 @@
+// Synchronous BlockStore directly over a BlockDevice (no cache, no latency).
+// Used at boot to format and populate the filesystem before the servers
+// start, and by the monolithic baseline OS, which has no message loop.
+#pragma once
+
+#include "fs/blockdev.hpp"
+#include "fs/minifs.hpp"
+
+namespace osiris::fs {
+
+class DirectStore final : public BlockStore {
+ public:
+  explicit DirectStore(BlockDevice& dev) : dev_(dev) {}
+
+  void read_block(std::uint32_t bno, std::span<std::byte, kBlockSize> out) override {
+    dev_.read_now(bno, out);
+  }
+  void write_block(std::uint32_t bno, std::span<const std::byte, kBlockSize> data) override {
+    dev_.write_now(bno, data);
+  }
+
+ private:
+  BlockDevice& dev_;
+};
+
+}  // namespace osiris::fs

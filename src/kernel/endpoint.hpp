@@ -1,0 +1,38 @@
+// Endpoints name IPC destinations, mirroring MINIX 3 endpoints.
+//
+// Well-known endpoints for the core system servers are fixed at boot,
+// matching the prototype in the paper (PM, VM, VFS, DS, RS). User process
+// endpoints are allocated dynamically from kFirstUser upward.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace osiris::kernel {
+
+struct Endpoint {
+  std::int32_t value = -1;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return value >= 0; }
+  friend constexpr bool operator==(Endpoint a, Endpoint b) noexcept { return a.value == b.value; }
+  friend constexpr bool operator!=(Endpoint a, Endpoint b) noexcept { return a.value != b.value; }
+  friend constexpr bool operator<(Endpoint a, Endpoint b) noexcept { return a.value < b.value; }
+};
+
+inline constexpr Endpoint kNoEndpoint{-1};
+inline constexpr Endpoint kKernelEp{0};
+inline constexpr Endpoint kRsEp{1};
+inline constexpr Endpoint kPmEp{2};
+inline constexpr Endpoint kVmEp{3};
+inline constexpr Endpoint kVfsEp{4};
+inline constexpr Endpoint kDsEp{5};
+inline constexpr std::int32_t kFirstUserEndpoint = 16;
+
+}  // namespace osiris::kernel
+
+template <>
+struct std::hash<osiris::kernel::Endpoint> {
+  std::size_t operator()(osiris::kernel::Endpoint e) const noexcept {
+    return std::hash<std::int32_t>{}(e.value);
+  }
+};

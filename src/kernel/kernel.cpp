@@ -1,0 +1,324 @@
+#include "kernel/kernel.hpp"
+
+#include <cstring>
+
+#include "kernel/faults.hpp"
+#include "support/common.hpp"
+#include "support/log.hpp"
+
+namespace osiris::kernel {
+
+void Kernel::register_server(Endpoint ep, IServer* srv) {
+  OSIRIS_ASSERT(srv != nullptr);
+  OSIRIS_ASSERT(ep.valid() && ep.value < kFirstUserEndpoint);
+  OSIRIS_ASSERT(servers_.find(ep.value) == servers_.end());
+  servers_[ep.value] = ServerSlot{srv, false, false, Message{}};
+}
+
+Endpoint Kernel::register_client(IClient* cli) {
+  OSIRIS_ASSERT(cli != nullptr);
+  Endpoint ep{next_client_ep_++};
+  clients_[ep.value] = cli;
+  return ep;
+}
+
+void Kernel::unregister_client(Endpoint ep) { clients_.erase(ep.value); }
+
+bool Kernel::is_server(Endpoint ep) const { return servers_.count(ep.value) != 0; }
+bool Kernel::is_client(Endpoint ep) const { return clients_.count(ep.value) != 0; }
+
+IServer* Kernel::server_at(Endpoint ep) const {
+  auto it = servers_.find(ep.value);
+  return it == servers_.end() ? nullptr : it->second.srv;
+}
+
+void Kernel::send(Endpoint src, Endpoint dst, Message m) {
+  if (state_ != SystemState::kRunning) return;
+  m.sender = src;
+  ++stats_.messages_queued;
+  queue_.push_back(Queued{dst, m});
+}
+
+void Kernel::notify(Endpoint src, Endpoint dst, std::uint32_t type) {
+  Message m;
+  m.type = type | kNotifyBit;
+  ++stats_.notifies;
+  send(src, dst, m);
+}
+
+Message Kernel::call(Endpoint src, Endpoint dst, Message m) {
+  OSIRIS_ASSERT(is_server(dst));
+  if (state_ != SystemState::kRunning) throw ControlledShutdown("call while halting");
+  ServerSlot& slot = servers_[dst.value];
+  m.sender = src;
+  ++stats_.nested_calls;
+
+  if (slot.hung) {
+    // Calling a hung server blocks the caller forever: the caller itself is
+    // now effectively hung mid-request. Unwind it and mark it hung so the
+    // Recovery Server's heartbeat sweep will eventually recover both.
+    throw HangSuspend{};
+  }
+
+  // Nested synchronous dispatch (rendezvous IPC). A crash in the callee is
+  // handled right here, before the caller resumes, and the reconciliation
+  // result is returned to the caller as its reply.
+  const Message saved_inflight = slot.inflight;
+  const bool saved_in_dispatch = slot.in_dispatch;
+  slot.inflight = m;
+  slot.in_dispatch = true;
+  ++stats_.server_dispatches;
+  try {
+    std::optional<Message> reply = slot.srv->dispatch(m);
+    slot.inflight = saved_inflight;
+    slot.in_dispatch = saved_in_dispatch;
+    OSIRIS_ASSERT(reply.has_value());  // nested calls must be replied to inline
+    return *reply;
+  } catch (const FailStopFault& f) {
+    slot.inflight = saved_inflight;
+    slot.in_dispatch = saved_in_dispatch;
+    CrashContext ctx;
+    ctx.crashed = dst;
+    ctx.had_inflight = true;
+    ctx.inflight = m;
+    ctx.what = f.what();
+    ++stats_.crashes;
+    OSIRIS_ASSERT(crash_handler_);
+    CrashDecision d = crash_handler_(ctx);
+    switch (d.action) {
+      case CrashAction::kErrorReply:
+        return d.reply;
+      case CrashAction::kNoReply:
+        // The caller can never be unblocked; treat it as hung mid-request.
+        throw HangSuspend{};
+      case CrashAction::kKillRequester: {
+        // Reconciliation: the requester must die to clean up its scoped
+        // state. PM performs the actual teardown (endpoint-keyed kill).
+        Message kill = make_msg(0x151 /* PM_KILL_EP */,
+                                static_cast<std::uint64_t>(m.sender.value));
+        send(kKernelEp, Endpoint{2} /* PM */, kill);
+        throw HangSuspend{};  // the (nested) caller never gets an answer
+      }
+      case CrashAction::kShutdown:
+        request_shutdown(ctx.what);
+        throw ControlledShutdown(ctx.what);
+      case CrashAction::kGiveUp:
+        mark_crashed("recovery gave up: " + ctx.what);
+        throw ControlledShutdown(halt_reason_);
+    }
+    OSIRIS_PANIC("unreachable");
+  } catch (const HangSuspend&) {
+    // The callee hung (fault model). The caller is blocked on it forever:
+    // mark the callee hung and propagate so the caller's own dispatch
+    // boundary marks the caller hung as well.
+    slot.in_dispatch = false;
+    if (!slot.hung) mark_hung(dst, m);
+    throw;
+  }
+}
+
+void Kernel::reply_to(Endpoint dst, Message m) {
+  ++stats_.replies_to_clients;
+  send(kKernelEp, dst, m);
+}
+
+GrantId Kernel::make_grant(Endpoint owner, Endpoint grantee, std::byte* base, std::size_t len,
+                           Access access) {
+  GrantId id = next_grant_++;
+  grants_[id] = Grant{owner, grantee, base, len, access, false};
+  ++stats_.grants_created;
+  return id;
+}
+
+void Kernel::revoke_grant(GrantId id) {
+  auto it = grants_.find(id);
+  if (it != grants_.end()) it->second.revoked = true;
+}
+
+std::size_t Kernel::grant_size(GrantId id) const {
+  auto it = grants_.find(id);
+  return it == grants_.end() ? 0 : it->second.len;
+}
+
+const Grant* Kernel::check_grant(Endpoint grantee, GrantId id, std::size_t offset,
+                                 std::size_t len, Access need, std::int64_t* err) const {
+  auto it = grants_.find(id);
+  if (it == grants_.end() || it->second.revoked) {
+    *err = E_INVAL;
+    return nullptr;
+  }
+  const Grant& g = it->second;
+  if (g.grantee != grantee) {
+    *err = E_PERM;
+    return nullptr;
+  }
+  if (offset > g.len || len > g.len - offset) {
+    *err = E_INVAL;
+    return nullptr;
+  }
+  const auto need_bits = static_cast<std::uint8_t>(need);
+  if ((static_cast<std::uint8_t>(g.access) & need_bits) != need_bits) {
+    *err = E_PERM;
+    return nullptr;
+  }
+  *err = OK;
+  return &g;
+}
+
+std::int64_t Kernel::safecopy_from(Endpoint grantee, GrantId id, std::size_t offset, void* dst,
+                                   std::size_t len) {
+  std::int64_t err = OK;
+  const Grant* g = check_grant(grantee, id, offset, len, Access::kRead, &err);
+  if (!g) return err;
+  std::memcpy(dst, g->base + offset, len);
+  stats_.safecopy_bytes += len;
+  return static_cast<std::int64_t>(len);
+}
+
+std::int64_t Kernel::safecopy_to(Endpoint grantee, GrantId id, std::size_t offset,
+                                 const void* src, std::size_t len) {
+  std::int64_t err = OK;
+  const Grant* g = check_grant(grantee, id, offset, len, Access::kWrite, &err);
+  if (!g) return err;
+  std::memcpy(g->base + offset, src, len);
+  stats_.safecopy_bytes += len;
+  return static_cast<std::int64_t>(len);
+}
+
+bool Kernel::dispatch_pending() {
+  bool any = false;
+  while (!queue_.empty() && state_ == SystemState::kRunning) {
+    Queued q = queue_.front();
+    queue_.pop_front();
+    any = true;
+    if (auto sit = servers_.find(q.dst.value); sit != servers_.end()) {
+      deliver_to_server(q.dst, q.msg);
+    } else if (auto cit = clients_.find(q.dst.value); cit != clients_.end()) {
+      if (is_notify(q.msg.type)) {
+        cit->second->on_notify(q.msg);
+      } else {
+        cit->second->on_reply(q.msg);
+      }
+    } else {
+      OSIRIS_DEBUG("kernel", "dropping message type=0x%x to dead endpoint %d", q.msg.type,
+                   q.dst.value);
+    }
+  }
+  return any;
+}
+
+void Kernel::deliver_to_server(Endpoint dst, const Message& m) {
+  ServerSlot& slot = servers_[dst.value];
+  if (slot.hung) {
+    OSIRIS_DEBUG("kernel", "message type=0x%x to hung server %d dropped", m.type, dst.value);
+    return;
+  }
+  slot.inflight = m;
+  slot.in_dispatch = true;
+  ++stats_.server_dispatches;
+  try {
+    std::optional<Message> reply = slot.srv->dispatch(m);
+    slot.in_dispatch = false;
+    if (reply) route_reply(m.sender, *reply);
+  } catch (const FailStopFault& f) {
+    slot.in_dispatch = false;
+    CrashContext ctx;
+    ctx.crashed = dst;
+    ctx.had_inflight = !is_notify(m.type);
+    ctx.inflight = m;
+    ctx.what = f.what();
+    ++stats_.crashes;
+    handle_crash(dst, ctx);
+  } catch (const HangSuspend&) {
+    slot.in_dispatch = false;
+    if (!slot.hung) mark_hung(dst, m);
+  }
+}
+
+void Kernel::route_reply(Endpoint dst, Message reply) {
+  if (!dst.valid() || dst == kKernelEp) return;
+  reply.sender = kKernelEp;
+  if (auto cit = clients_.find(dst.value); cit != clients_.end()) {
+    ++stats_.replies_to_clients;
+    cit->second->on_reply(reply);
+  } else if (servers_.count(dst.value) != 0) {
+    // Async reply to an event-driven server: re-enters its loop as a message.
+    queue_.push_back(Queued{dst, reply});
+  }
+}
+
+void Kernel::handle_crash(Endpoint crashed, const CrashContext& ctx) {
+  if (!crash_handler_) {
+    mark_crashed("no recovery infrastructure: " + ctx.what);
+    return;
+  }
+  CrashDecision d = crash_handler_(ctx);
+  switch (d.action) {
+    case CrashAction::kErrorReply: {
+      Message reply = d.reply;
+      route_reply(ctx.inflight.sender, reply);
+      break;
+    }
+    case CrashAction::kNoReply:
+      break;
+    case CrashAction::kKillRequester: {
+      Message kill = make_msg(0x151 /* PM_KILL_EP */,
+                              static_cast<std::uint64_t>(ctx.inflight.sender.value));
+      send(kKernelEp, Endpoint{2} /* PM */, kill);
+      break;
+    }
+    case CrashAction::kShutdown:
+      request_shutdown(ctx.what);
+      throw ControlledShutdown(ctx.what);
+    case CrashAction::kGiveUp:
+      mark_crashed("recovery gave up: " + ctx.what);
+      break;
+  }
+}
+
+bool Kernel::is_hung(Endpoint ep) const {
+  auto it = servers_.find(ep.value);
+  return it != servers_.end() && it->second.hung;
+}
+
+void Kernel::mark_hung(Endpoint ep, const Message& inflight) {
+  auto it = servers_.find(ep.value);
+  OSIRIS_ASSERT(it != servers_.end());
+  it->second.hung = true;
+  it->second.inflight = inflight;
+  ++stats_.hangs;
+  OSIRIS_INFO("kernel", "server %d hung while processing type=0x%x", ep.value, inflight.type);
+}
+
+void Kernel::recover_hung(Endpoint ep) {
+  auto it = servers_.find(ep.value);
+  OSIRIS_ASSERT(it != servers_.end());
+  if (!it->second.hung) return;
+  CrashContext ctx;
+  ctx.crashed = ep;
+  ctx.had_inflight = !is_notify(it->second.inflight.type) && it->second.inflight.type != 0;
+  ctx.inflight = it->second.inflight;
+  ctx.was_hang = true;
+  ctx.what = "heartbeat timeout";
+  it->second.hung = false;
+  ++stats_.crashes;
+  handle_crash(ep, ctx);
+}
+
+void Kernel::request_shutdown(std::string reason) {
+  if (state_ == SystemState::kRunning) {
+    state_ = SystemState::kShutdown;
+    halt_reason_ = std::move(reason);
+    OSIRIS_INFO("kernel", "controlled shutdown: %s", halt_reason_.c_str());
+  }
+}
+
+void Kernel::mark_crashed(std::string reason) {
+  if (state_ != SystemState::kCrashed) {
+    state_ = SystemState::kCrashed;
+    halt_reason_ = std::move(reason);
+    OSIRIS_INFO("kernel", "system crashed: %s", halt_reason_.c_str());
+  }
+}
+
+}  // namespace osiris::kernel

@@ -1,0 +1,205 @@
+// The simulated microkernel: process slots, message passing, grants,
+// crash containment, and system lifecycle.
+//
+// This is the "message passing substrate" component of the paper's Reliable
+// Computing Base (SVI-A item 5). It is deliberately small and fault-free:
+// no fi:: probes are ever placed in this module.
+//
+// Execution model
+// ---------------
+// Everything runs on one host thread. System servers are event-driven and
+// are dispatched synchronously, one message at a time, from the kernel's
+// message queue. Server-to-server sendrec is a *nested* synchronous call()
+// on the host stack, which models MINIX's rendezvous IPC: the caller is
+// blocked until the callee replies. User processes are fibers managed by the
+// OS layer; the kernel only sees them as IClient callbacks.
+//
+// Fault containment
+// -----------------
+// A fail-stop fault inside a server raises kernel::FailStopFault, which the
+// kernel catches exactly at that server's dispatch boundary. The registered
+// crash handler (the recovery engine, part of the RCB) then performs the
+// restart/rollback/reconciliation pipeline and tells the kernel how to
+// resolve the in-flight request: error-virtualized reply, no reply, or
+// controlled shutdown. While the handler runs, nothing else in the system
+// executes — this implements the paper's "stall userland during recovery"
+// single-failure guarantee.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/grant.hpp"
+#include "kernel/iface.hpp"
+#include "kernel/message.hpp"
+#include "support/clock.hpp"
+
+namespace osiris::kernel {
+
+/// Notification messages (no reply expected) have this bit set in the type.
+inline constexpr std::uint32_t kNotifyBit = 0x40000000u;
+inline constexpr bool is_notify(std::uint32_t type) { return (type & kNotifyBit) != 0; }
+
+/// What the crash handler decided after running the recovery pipeline.
+enum class CrashAction : std::uint8_t {
+  kErrorReply,      // reconciliation: send an error-virtualized reply to the requester
+  kNoReply,         // component restarted; requester (if any) stays blocked
+  kShutdown,        // consistent recovery impossible: controlled shutdown
+  kGiveUp,          // recovery itself failed: the system is wedged (counts as crash)
+  kKillRequester,   // SVII extension: reconcile requester-scoped leakage by
+                    // terminating the requesting process (via PM)
+};
+
+struct CrashContext {
+  Endpoint crashed = kNoEndpoint;
+  bool had_inflight = false;
+  Message inflight;     // the message being processed when the fault hit
+  bool was_hang = false;  // detected via heartbeat rather than a fail-stop trap
+  std::string what;     // fault description for logs
+};
+
+struct CrashDecision {
+  CrashAction action = CrashAction::kShutdown;
+  Message reply;  // used when action == kErrorReply
+};
+
+using CrashHandler = std::function<CrashDecision(const CrashContext&)>;
+
+enum class SystemState : std::uint8_t { kRunning, kShutdown, kCrashed };
+
+struct KernelStats {
+  std::uint64_t messages_queued = 0;
+  std::uint64_t server_dispatches = 0;
+  std::uint64_t nested_calls = 0;
+  std::uint64_t notifies = 0;
+  std::uint64_t replies_to_clients = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t hangs = 0;
+  std::uint64_t safecopy_bytes = 0;
+  std::uint64_t grants_created = 0;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(VirtualClock& clock) : clock_(clock) {}
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- registration ---------------------------------------------------
+
+  /// Register a system server at a well-known endpoint (kPmEp etc.).
+  void register_server(Endpoint ep, IServer* srv);
+
+  /// Register a user process; allocates a fresh endpoint.
+  Endpoint register_client(IClient* cli);
+  void unregister_client(Endpoint ep);
+
+  [[nodiscard]] bool is_server(Endpoint ep) const;
+  [[nodiscard]] bool is_client(Endpoint ep) const;
+  [[nodiscard]] IServer* server_at(Endpoint ep) const;
+
+  // --- IPC -------------------------------------------------------------
+
+  /// Queue an asynchronous message from src to dst (server or client).
+  void send(Endpoint src, Endpoint dst, Message m);
+
+  /// Queue a notification (no reply expected).
+  void notify(Endpoint src, Endpoint dst, std::uint32_t type);
+
+  /// Synchronous sendrec from a *server* to another server: the callee's
+  /// handler runs nested on the current stack and its reply is returned.
+  /// If the callee crashes and reconciliation yields an error reply, that
+  /// reply (status E_CRASH) is returned here, exactly as a blocked MINIX
+  /// caller would observe it.
+  Message call(Endpoint src, Endpoint dst, Message m);
+
+  /// Deliver a reply to a client's outstanding sendrec (used by servers that
+  /// reply asynchronously, and by the recovery engine's reconciliation).
+  void reply_to(Endpoint dst, Message m);
+
+  // --- grants ----------------------------------------------------------
+
+  GrantId make_grant(Endpoint owner, Endpoint grantee, std::byte* base, std::size_t len,
+                     Access access);
+  void revoke_grant(GrantId id);
+  std::int64_t safecopy_from(Endpoint grantee, GrantId id, std::size_t offset, void* dst,
+                             std::size_t len);
+  std::int64_t safecopy_to(Endpoint grantee, GrantId id, std::size_t offset, const void* src,
+                           std::size_t len);
+  [[nodiscard]] std::size_t grant_size(GrantId id) const;
+
+  // --- scheduling ------------------------------------------------------
+
+  /// Drain the message queue, dispatching each message. Returns true if at
+  /// least one message was processed. May throw ControlledShutdown.
+  bool dispatch_pending();
+
+  [[nodiscard]] bool queue_empty() const noexcept { return queue_.empty(); }
+
+  // --- crash integration ------------------------------------------------
+
+  void set_crash_handler(CrashHandler handler) { crash_handler_ = std::move(handler); }
+
+  [[nodiscard]] bool is_hung(Endpoint ep) const;
+
+  /// Mark a server hung with the message it was processing (used by the
+  /// hang fault model; the server stops responding until RS notices).
+  void mark_hung(Endpoint ep, const Message& inflight);
+
+  /// Invoked by the Recovery Server when a heartbeat timeout fires:
+  /// converts the hang into a crash event and runs the recovery pipeline.
+  void recover_hung(Endpoint ep);
+
+  // --- system lifecycle ---------------------------------------------------
+
+  [[nodiscard]] SystemState state() const noexcept { return state_; }
+  [[nodiscard]] const std::string& halt_reason() const noexcept { return halt_reason_; }
+
+  /// Controlled shutdown: consistent but final (paper's "shutdown" outcome).
+  void request_shutdown(std::string reason);
+
+  /// Uncontrolled crash: the system is wedged (paper's "crash" outcome).
+  void mark_crashed(std::string reason);
+
+  VirtualClock& clock() noexcept { return clock_; }
+  [[nodiscard]] const KernelStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct ServerSlot {
+    IServer* srv = nullptr;
+    bool hung = false;
+    bool in_dispatch = false;
+    Message inflight;
+  };
+
+  struct Queued {
+    Endpoint dst;
+    Message msg;
+  };
+
+  void deliver_to_server(Endpoint dst, const Message& m);
+  void route_reply(Endpoint dst, Message reply);
+  void handle_crash(Endpoint crashed, const CrashContext& ctx);
+  const Grant* check_grant(Endpoint grantee, GrantId id, std::size_t offset, std::size_t len,
+                           Access need, std::int64_t* err) const;
+
+  VirtualClock& clock_;
+  std::unordered_map<std::int32_t, ServerSlot> servers_;
+  std::unordered_map<std::int32_t, IClient*> clients_;
+  std::deque<Queued> queue_;
+  std::unordered_map<GrantId, Grant> grants_;
+  GrantId next_grant_ = 1;
+  std::int32_t next_client_ep_ = kFirstUserEndpoint;
+  CrashHandler crash_handler_;
+  SystemState state_ = SystemState::kRunning;
+  std::string halt_reason_;
+  KernelStats stats_;
+};
+
+}  // namespace osiris::kernel

@@ -1,0 +1,34 @@
+#include "kernel/message.hpp"
+
+namespace osiris::kernel {
+
+const char* errno_name(std::int64_t e) {
+  switch (e) {
+    case OK: return "OK";
+    case E_CRASH: return "E_CRASH";
+    case E_NOENT: return "E_NOENT";
+    case E_NOMEM: return "E_NOMEM";
+    case E_INVAL: return "E_INVAL";
+    case E_BADF: return "E_BADF";
+    case E_MFILE: return "E_MFILE";
+    case E_EXIST: return "E_EXIST";
+    case E_NOTDIR: return "E_NOTDIR";
+    case E_ISDIR: return "E_ISDIR";
+    case E_NOSPC: return "E_NOSPC";
+    case E_AGAIN: return "E_AGAIN";
+    case E_CHILD: return "E_CHILD";
+    case E_SRCH: return "E_SRCH";
+    case E_PERM: return "E_PERM";
+    case E_NOSYS: return "E_NOSYS";
+    case E_NOTEMPTY: return "E_NOTEMPTY";
+    case E_PIPE: return "E_PIPE";
+    case E_NAMETOOLONG: return "E_NAMETOOLONG";
+    case E_NFILE: return "E_NFILE";
+    case E_SHUTDOWN: return "E_SHUTDOWN";
+    case E_FBIG: return "E_FBIG";
+    case E_DEADLK: return "E_DEADLK";
+    default: return e >= 0 ? "OK(+n)" : "E_UNKNOWN";
+  }
+}
+
+}  // namespace osiris::kernel

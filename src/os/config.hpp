@@ -1,0 +1,44 @@
+// OS instance configuration: the experiment axes of the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+
+#include "ckpt/context.hpp"
+#include "seep/policy.hpp"
+#include "support/clock.hpp"
+
+namespace osiris::os {
+
+struct OsConfig {
+  /// Recovery policy (Tables I-III): stateless / naive / pessimistic / enhanced.
+  seep::Policy policy = seep::Policy::kEnhanced;
+
+  /// Instrumentation mode (Table V): kOff = uninstrumented baseline,
+  /// kAlways = "without opt", kWindowOnly = optimized (default).
+  ckpt::Mode ckpt_mode = ckpt::Mode::kWindowOnly;
+
+  /// Register the recovery engine as the kernel's crash handler. When false
+  /// (pure-performance baselines), any crash wedges the system.
+  bool recovery_enabled = true;
+
+  /// Heartbeat sweep interval in virtual ticks; 0 disables heartbeats.
+  Tick heartbeat_interval = 400;
+
+  /// Crash-storm bound per component before recovery gives up.
+  std::uint32_t max_recoveries = 8;
+
+  // Disk geometry and latency.
+  std::size_t disk_blocks = 4096;
+  std::size_t cache_blocks = 64;
+  Tick disk_read_latency = 40;
+  Tick disk_write_latency = 60;
+
+  /// Scheduler-step budget: exceeded = the run is classified as hung.
+  std::uint64_t max_steps = 20'000'000;
+  /// Iterations without any user-process progress before declaring a hang.
+  /// Disk completions and hang-recovery all resolve within tens of
+  /// iterations; 2000 leaves two orders of magnitude of margin.
+  std::uint64_t max_idle_iters = 2'000;
+};
+
+}  // namespace osiris::os

@@ -1,0 +1,39 @@
+// Program registry: named user programs available to exec().
+//
+// The simulated filesystem is populated at boot with /bin/<name> marker
+// files; exec() verifies the binary exists through VFS (and PM's
+// asynchronous exec pipeline) and then runs the registered body — the
+// simulator's stand-in for loading an image.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "os/isys.hpp"
+
+namespace osiris::os {
+
+class ProgramRegistry {
+ public:
+  using Body = std::function<std::int64_t(ISys&)>;
+
+  void add(std::string name, Body body) { programs_[std::move(name)] = std::move(body); }
+
+  [[nodiscard]] const Body* find(std::string_view path) const {
+    // exec paths are /bin/<name>; bare names are accepted too.
+    std::string_view leaf = path;
+    if (const auto slash = path.rfind('/'); slash != std::string_view::npos) {
+      leaf = path.substr(slash + 1);
+    }
+    auto it = programs_.find(std::string(leaf));
+    return it == programs_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] const std::unordered_map<std::string, Body>& all() const { return programs_; }
+
+ private:
+  std::unordered_map<std::string, Body> programs_;
+};
+
+}  // namespace osiris::os

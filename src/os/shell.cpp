@@ -1,0 +1,250 @@
+#include "os/shell.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "servers/protocol.hpp"
+
+namespace osiris::os {
+
+using kernel::E_CRASH;
+using kernel::OK;
+using namespace osiris::servers;
+
+namespace {
+
+std::vector<std::string> tokenize(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : s) {
+    if (ch == ' ' || ch == '\t') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : s) {
+    if (ch == sep) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+/// One pipeline stage: argv + the piped-in input; returns (status, output).
+struct StageResult {
+  std::int64_t status = 0;
+  std::string output;
+};
+
+class Shell {
+ public:
+  Shell(ISys& sys, ShellResult& result) : sys_(sys), result_(result) {}
+
+  void run_line(std::string_view line) {
+    // Strip comments and blank lines.
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    if (tokenize(line).empty()) return;
+    ++result_.commands_run;
+
+    // Redirect: "pipeline > path" (last '>' wins).
+    std::string redirect;
+    std::string pipeline(line);
+    if (const auto gt = pipeline.rfind('>'); gt != std::string::npos) {
+      const auto toks = tokenize(std::string_view(pipeline).substr(gt + 1));
+      if (toks.size() == 1) {
+        redirect = toks[0];
+        pipeline = pipeline.substr(0, gt);
+      }
+    }
+
+    // Run the stages left to right, threading the output through.
+    StageResult acc;
+    for (const std::string& stage : split(pipeline, '|')) {
+      const auto argv = tokenize(stage);
+      if (argv.empty()) {
+        acc = {kernel::E_INVAL, ""};
+        break;
+      }
+      acc = run_stage(argv, acc.output);
+      if (acc.status == E_CRASH) {
+        ++result_.crash_errors;
+        say(argv[0] + ": component recovered underneath us (E_CRASH) — continuing");
+      }
+      if (acc.status != 0) break;
+    }
+
+    if (acc.status != 0) {
+      ++result_.failures;
+      say("sh: command failed with status " + std::to_string(acc.status));
+      return;
+    }
+    if (!redirect.empty()) {
+      const std::int64_t fd = sys_.open(redirect, O_CREAT | O_WRONLY | O_TRUNC);
+      if (fd < 0) {
+        ++result_.failures;
+        say("sh: cannot open " + redirect);
+        return;
+      }
+      sys_.write_str(fd, acc.output);
+      sys_.close(fd);
+    } else if (!acc.output.empty()) {
+      say(acc.output);
+    }
+  }
+
+ private:
+  void say(const std::string& s) {
+    result_.transcript += s;
+    if (s.empty() || s.back() != '\n') result_.transcript += '\n';
+  }
+
+  StageResult run_stage(const std::vector<std::string>& argv, const std::string& input) {
+    const std::string& cmd = argv[0];
+    if (cmd == "echo") {
+      std::string out;
+      for (std::size_t i = 1; i < argv.size(); ++i) {
+        if (i > 1) out += ' ';
+        out += argv[i];
+      }
+      return {0, out + "\n"};
+    }
+    if (cmd == "cat") {
+      if (argv.size() < 2) return {0, input};  // passthrough
+      const std::int64_t fd = sys_.open(argv[1], O_RDONLY);
+      if (fd < 0) return {fd, ""};
+      std::string out;
+      char buf[256];
+      std::int64_t n;
+      while ((n = sys_.read(fd, std::as_writable_bytes(std::span<char>(buf, sizeof buf)))) > 0) {
+        out.append(buf, static_cast<std::size_t>(n));
+      }
+      sys_.close(fd);
+      return {n < 0 ? n : 0, out};
+    }
+    if (cmd == "upper") {
+      std::string out = input;
+      std::transform(out.begin(), out.end(), out.begin(),
+                     [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+      return {0, out};
+    }
+    if (cmd == "rev") {
+      std::string out(input.rbegin(), input.rend());
+      return {0, out};
+    }
+    if (cmd == "wc") {
+      const auto lines = static_cast<std::size_t>(std::count(input.begin(), input.end(), '\n'));
+      return {0, std::to_string(lines) + " " + std::to_string(input.size()) + "\n"};
+    }
+    if (cmd == "ls") {
+      const std::string path = argv.size() > 1 ? argv[1] : "/";
+      std::string out;
+      for (std::uint64_t i = 0;; ++i) {
+        std::string name;
+        const std::int64_t r = sys_.readdir(path, i, &name);
+        if (r == kernel::E_NOENT) break;
+        if (r < 0) return {r, ""};
+        out += name + "\n";
+      }
+      return {0, out};
+    }
+    if (cmd == "mkdir" && argv.size() == 2) return {sys_.mkdir(argv[1]), ""};
+    if (cmd == "rm" && argv.size() == 2) return {sys_.unlink(argv[1]), ""};
+    if (cmd == "rmdir" && argv.size() == 2) return {sys_.rmdir(argv[1]), ""};
+    if (cmd == "mv" && argv.size() == 3) return {sys_.rename(argv[1], argv[2]), ""};
+    if (cmd == "touch" && argv.size() == 2) {
+      const std::int64_t fd = sys_.open(argv[1], O_CREAT | O_WRONLY);
+      if (fd < 0) return {fd, ""};
+      sys_.close(fd);
+      return {0, ""};
+    }
+    if (cmd == "stat" && argv.size() == 2) {
+      StatResult st{};
+      const std::int64_t r = sys_.stat(argv[1], &st);
+      if (r != OK) return {r, ""};
+      return {0, argv[1] + ": size=" + std::to_string(st.size) +
+                     " type=" + (st.type == 2 ? "dir" : "file") + "\n"};
+    }
+    if (cmd == "ps") {
+      return {0, "pid " + std::to_string(sys_.getpid()) + " ppid " +
+                     std::to_string(sys_.getppid()) + "\n"};
+    }
+    if (cmd == "meminfo") {
+      std::uint64_t free_pages = 0, total = 0;
+      const std::int64_t r = sys_.getmeminfo(&free_pages, &total);
+      if (r != OK) return {r, ""};
+      return {0, std::to_string(free_pages) + "/" + std::to_string(total) + " pages free\n"};
+    }
+    if (cmd == "publish" && argv.size() == 3) {
+      return {sys_.ds_publish(argv[1], std::strtoull(argv[2].c_str(), nullptr, 10)), ""};
+    }
+    if (cmd == "retrieve" && argv.size() == 2) {
+      std::uint64_t v = 0;
+      const std::int64_t r = sys_.ds_retrieve(argv[1], &v);
+      if (r != OK) return {r, ""};
+      return {0, std::to_string(v) + "\n"};
+    }
+    if (cmd == "crashinfo") {
+      std::string out;
+      for (std::int32_t ep : {2, 3, 4, 5}) {
+        const std::int64_t n = sys_.rs_status(ep);
+        out += "endpoint " + std::to_string(ep) + ": " +
+               (n < 0 ? std::string("unavailable") : std::to_string(n) + " restarts") + "\n";
+      }
+      return {0, out};
+    }
+
+    // External command: fork + exec /bin/<cmd>, wait, report its status.
+    const std::string path = "/bin/" + cmd;
+    if (sys_.access(path) != OK) return {kernel::E_NOENT, ""};
+    const std::int64_t pid = sys_.fork([path](ISys& c) {
+      c.exec(path);
+      c.exit(127);
+    });
+    if (pid < 0) return {pid, ""};
+    std::int64_t status = -1;
+    if (sys_.wait_pid(pid, &status) != pid) return {kernel::E_CHILD, ""};
+    return {status, ""};
+  }
+
+  ISys& sys_;
+  ShellResult& result_;
+};
+
+}  // namespace
+
+ShellResult run_shell_script(ISys& sys, std::string_view script) {
+  ShellResult result;
+  Shell shell(sys, result);
+  for (const std::string& raw_line : split(script, '\n')) {
+    for (const std::string& cmd : split(raw_line, ';')) {
+      shell.run_line(cmd);
+    }
+  }
+  return result;
+}
+
+void register_shell_programs(ProgramRegistry& registry) {
+  registry.add("sleepy", [](ISys& sys) -> std::int64_t {
+    for (int i = 0; i < 25; ++i) sys.getpid();
+    return 0;
+  });
+  registry.add("fail7", [](ISys&) -> std::int64_t { return 7; });
+}
+
+}  // namespace osiris::os

@@ -1,0 +1,40 @@
+// A small POSIX-style shell for the simulated OS.
+//
+// Supports the constructs the paper's recovery narrative revolves around
+// (SIII-C: "the shell can handle [E_CRASH] just like other unexpected
+// failures"):
+//
+//   cmd arg...            run /bin/cmd via fork+exec, wait, report status
+//   cmd1 | cmd2           pipelines (pipe + fd passing via the data store)
+//   cmd > path            redirect a builtin's output to a file
+//   a ; b ; c             sequencing
+//   builtins: echo, cat, ls, mkdir, rm, rmdir, mv, touch, stat, ps, meminfo,
+//             publish, retrieve, true, false, crashinfo
+//
+// Any command failing with E_CRASH (a component was recovered underneath
+// the shell) is reported and the script continues — the shell never dies
+// with the server.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "os/isys.hpp"
+#include "os/programs.hpp"
+
+namespace osiris::os {
+
+struct ShellResult {
+  int commands_run = 0;
+  int failures = 0;           // nonzero exit status or builtin error
+  int crash_errors = 0;       // commands that observed E_CRASH
+  std::string transcript;     // everything the shell "printed"
+};
+
+/// Run a script (newline- or ';'-separated commands) on `sys`.
+ShellResult run_shell_script(ISys& sys, std::string_view script);
+
+/// Register the external programs the shell can exec (wc, rev, upper).
+void register_shell_programs(ProgramRegistry& registry);
+
+}  // namespace osiris::os

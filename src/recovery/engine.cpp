@@ -1,0 +1,188 @@
+#include "recovery/engine.hpp"
+
+#include <cstring>
+
+#include "support/common.hpp"
+#include "support/log.hpp"
+
+namespace osiris::recovery {
+
+using kernel::CrashAction;
+using kernel::CrashContext;
+using kernel::CrashDecision;
+using kernel::E_CRASH;
+using kernel::Endpoint;
+using kernel::make_reply;
+
+Engine::Engine(kernel::Kernel& kernel, const seep::Classification& classification,
+               seep::Policy policy, std::uint32_t max_recoveries_per_component)
+    : kernel_(kernel),
+      classification_(classification),
+      policy_(policy),
+      max_recoveries_(max_recoveries_per_component) {
+  kernel_.set_crash_handler([this](const CrashContext& ctx) { return on_crash(ctx); });
+}
+
+void Engine::register_component(Recoverable* comp) {
+  OSIRIS_ASSERT(comp != nullptr);
+  Slot slot;
+  slot.comp = comp;
+  // Pre-allocate the spare clone now: when PM or VM is down, memory cannot be
+  // obtained dynamically (paper SIV-C restart phase, Table VI "+clone").
+  slot.clone_image.resize(comp->data_section_size() + comp->recovery_arena_bytes());
+  // Capture the pristine boot state for the stateless-restart baseline.
+  slot.boot_image.assign(comp->data_section(), comp->data_section() + comp->data_section_size());
+  slots_[comp->endpoint().value] = std::move(slot);
+}
+
+std::size_t Engine::clone_bytes(Endpoint ep) const {
+  auto it = slots_.find(ep.value);
+  return it == slots_.end() ? 0 : it->second.clone_image.size();
+}
+
+std::uint32_t Engine::recoveries_of(Endpoint ep) const {
+  auto it = slots_.find(ep.value);
+  return it == slots_.end() ? 0 : it->second.recoveries;
+}
+
+bool Engine::replyable(const CrashContext& ctx) const {
+  if (!ctx.had_inflight) return false;
+  if (!ctx.inflight.sender.valid() || ctx.inflight.sender == kernel::kKernelEp) return false;
+  return classification_.get(ctx.inflight.type & ~kernel::kNotifyBit).replyable &&
+         !kernel::is_notify(ctx.inflight.type);
+}
+
+CrashDecision Engine::on_crash(const CrashContext& ctx) {
+  ++stats_.crashes_seen;
+  auto it = slots_.find(ctx.crashed.value);
+  if (it == slots_.end()) {
+    // A component outside the recovery surface died: the system is wedged.
+    ++stats_.giveups;
+    return CrashDecision{CrashAction::kGiveUp, {}};
+  }
+  Slot& slot = it->second;
+  if (++slot.recoveries > max_recoveries_) {
+    OSIRIS_INFO("recovery", "%s exceeded %u recoveries: giving up",
+                std::string(slot.comp->name()).c_str(), max_recoveries_);
+    ++stats_.giveups;
+    return CrashDecision{CrashAction::kGiveUp, {}};
+  }
+
+  OSIRIS_INFO("recovery", "component %s crashed (%s): policy=%s window=%s",
+              std::string(slot.comp->name()).c_str(), ctx.what.c_str(),
+              seep::policy_name(policy_), slot.comp->window().is_open() ? "open" : "closed");
+
+  switch (policy_) {
+    case seep::Policy::kStateless:
+      return recover_stateless(slot, ctx);
+    case seep::Policy::kNaive:
+      return recover_naive(slot, ctx);
+    case seep::Policy::kPessimistic:
+    case seep::Policy::kEnhanced:
+    case seep::Policy::kExtended:
+      return recover_windowed(slot, ctx);
+  }
+  OSIRIS_PANIC("unknown policy");
+}
+
+void Engine::restart_phase(Slot& slot) {
+  // Transfer the crashed component's data section into the spare clone; the
+  // clone then becomes the live instance. (In the simulator both images share
+  // the host address space, so after the copy the original addresses remain
+  // the live ones — the copy models the transfer cost and the clone's memory
+  // footprint.)
+  std::memcpy(slot.clone_image.data(), slot.comp->data_section(),
+              slot.comp->data_section_size());
+  ++stats_.restarts;
+}
+
+CrashDecision Engine::recover_windowed(Slot& slot, const CrashContext& ctx) {
+  Recoverable& comp = *slot.comp;
+
+  // Reconciliation is only consistent when the recovery window is still open
+  // AND the triggering request can be answered with an error. In every other
+  // case the paper performs a controlled shutdown (SIV-C).
+  const bool window_open = comp.window().is_open();
+  const bool can_reply = replyable(ctx);
+
+  if (!window_open || !can_reply) {
+    ++stats_.shutdowns;
+    comp.window().end_of_request();
+    return CrashDecision{CrashAction::kShutdown, {}};
+  }
+
+  // Phase 1: restart — bring up the spare clone with the crashed state.
+  restart_phase(slot);
+
+  // Phase 2: rollback — undo every store since the top-of-loop checkpoint.
+  OSIRIS_ASSERT(comp.ckpt_context().log().integrity_ok());
+  comp.ckpt_context().log().rollback();
+  ++stats_.rollbacks;
+
+  const bool tainted = comp.window().is_tainted();
+
+  // The component is back at its last known-good state; close out the
+  // interrupted request and let the component repair runtime structures
+  // (e.g. the cooperative thread library, SIV-E).
+  comp.window().end_of_request();
+  comp.on_restored(/*rolled_back=*/true);
+
+  if (tainted) {
+    // Phase 3 (SVII extension): requester-scoped SEEPs already leaked
+    // requester-local state into other compartments; killing the requester
+    // cleans those up through the ordinary exit path.
+    ++stats_.requester_kills;
+    return CrashDecision{CrashAction::kKillRequester, {}};
+  }
+
+  // Phase 3: reconciliation — error virtualization. The requester receives
+  // E_CRASH and handles it like any other failed call; the original request
+  // is discarded, which also neutralizes persistent faults.
+  ++stats_.error_replies;
+  return CrashDecision{CrashAction::kErrorReply,
+                       make_reply(ctx.inflight.type, E_CRASH)};
+}
+
+CrashDecision Engine::recover_stateless(Slot& slot, const CrashContext& ctx) {
+  Recoverable& comp = *slot.comp;
+  restart_phase(slot);
+  ++stats_.stateless_restarts;
+  // Microreboot: fresh initial state; everything the component knew is lost.
+  std::memcpy(comp.data_section(), slot.boot_image.data(), slot.boot_image.size());
+  comp.ckpt_context().log().checkpoint();
+  comp.window().end_of_request();
+  comp.reinitialize();
+  comp.on_restored(/*rolled_back=*/false);
+  // Microreboot systems restart the component but have no reconciliation
+  // protocol: the in-flight requester is simply never answered. (This is
+  // why the paper's stateless column has no "fail" bucket — a pending
+  // request turns into a hang, i.e. a crash outcome.)
+  return CrashDecision{CrashAction::kNoReply, {}};
+}
+
+CrashDecision Engine::recover_naive(Slot& slot, const CrashContext& ctx) {
+  Recoverable& comp = *slot.comp;
+  restart_phase(slot);
+  ++stats_.naive_restarts;
+  // Best-effort: keep the (possibly half-updated) crashed state as-is and
+  // restart the component from its entry point. "No special handling" means
+  // three things the OSIRIS pipeline does are missing here:
+  //  - no rollback: mid-request mutations stay in place;
+  //  - no recovery-mode detection: the restarted component runs its normal
+  //    boot-time initialization over the stale data section (resetting
+  //    allocator scalars above live tables — pid collisions, frame
+  //    accounting mismatches — exactly the inconsistencies that later trip
+  //    fail-stop invariants);
+  //  - no cooperative-thread-library fixup: a crashed VFS worker stays
+  //    wedged, and repeated crashes exhaust the thread pool.
+  comp.ckpt_context().log().checkpoint();
+  comp.window().end_of_request();
+  comp.reinitialize();
+  if (replyable(ctx)) {
+    ++stats_.error_replies;
+    return CrashDecision{CrashAction::kErrorReply, make_reply(ctx.inflight.type, E_CRASH)};
+  }
+  return CrashDecision{CrashAction::kNoReply, {}};
+}
+
+}  // namespace osiris::recovery

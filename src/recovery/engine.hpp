@@ -1,0 +1,99 @@
+// The recovery engine: restart, rollback, reconciliation (paper SIV-C).
+//
+// The engine is the heart of the Reliable Computing Base. It is registered
+// as the kernel's crash handler; when a component suffers a fail-stop fault
+// (or a heartbeat-detected hang), the kernel invokes on_crash() while the
+// rest of the system is stalled, and the engine:
+//
+//   1. restart — transfers the crashed component's data section into the
+//      spare clone prepared at registration time. For core system servers
+//      the clone's memory is pre-allocated at boot (fork() would not work
+//      while PM/VM are down); the pre-allocation is what Table VI's "+clone"
+//      column measures.
+//   2. rollback — replays the component's undo log in reverse, restoring the
+//      checkpoint taken at the top of the request processing loop (only
+//      under the window-based policies, and only meaningful if the window
+//      was open at crash time).
+//   3. reconciliation — decides the system-wide outcome: error-virtualize
+//      (reply E_CRASH to the requester, which also handles persistent
+//      faults), or controlled shutdown when consistency cannot be proven.
+//
+// NO fault-injection probes are placed in this module: the paper's fault
+// model assumes the RCB is fault-free, and faults during recovery are
+// excluded by the single-failure assumption.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+#include "recovery/recoverable.hpp"
+#include "seep/policy.hpp"
+#include "seep/seep.hpp"
+
+namespace osiris::recovery {
+
+struct EngineStats {
+  std::uint64_t crashes_seen = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t error_replies = 0;
+  std::uint64_t shutdowns = 0;
+  std::uint64_t giveups = 0;
+  std::uint64_t stateless_restarts = 0;
+  std::uint64_t naive_restarts = 0;
+  std::uint64_t requester_kills = 0;  // SVII extended-policy reconciliations
+};
+
+class Engine {
+ public:
+  /// `max_recoveries_per_component` bounds crash storms: a component that
+  /// keeps dying is eventually declared unrecoverable (the system is wedged).
+  Engine(kernel::Kernel& kernel, const seep::Classification& classification,
+         seep::Policy policy, std::uint32_t max_recoveries_per_component = 8);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Register a recoverable component and pre-allocate its spare clone.
+  void register_component(Recoverable* comp);
+
+  /// Kernel crash-handler entry point.
+  kernel::CrashDecision on_crash(const kernel::CrashContext& ctx);
+
+  [[nodiscard]] seep::Policy policy() const noexcept { return policy_; }
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+  /// Bytes pre-allocated for a component's spare clone (Table VI).
+  [[nodiscard]] std::size_t clone_bytes(kernel::Endpoint ep) const;
+
+  /// Recovery count per component (for diagnostics and tests).
+  [[nodiscard]] std::uint32_t recoveries_of(kernel::Endpoint ep) const;
+
+ private:
+  struct Slot {
+    Recoverable* comp = nullptr;
+    /// Spare clone image, pre-allocated at registration (restart phase).
+    std::vector<std::byte> clone_image;
+    /// Pristine boot-time state for stateless restarts.
+    std::vector<std::byte> boot_image;
+    std::uint32_t recoveries = 0;
+  };
+
+  kernel::CrashDecision recover_windowed(Slot& slot, const kernel::CrashContext& ctx);
+  kernel::CrashDecision recover_stateless(Slot& slot, const kernel::CrashContext& ctx);
+  kernel::CrashDecision recover_naive(Slot& slot, const kernel::CrashContext& ctx);
+  void restart_phase(Slot& slot);
+  [[nodiscard]] bool replyable(const kernel::CrashContext& ctx) const;
+
+  kernel::Kernel& kernel_;
+  const seep::Classification& classification_;
+  seep::Policy policy_;
+  std::uint32_t max_recoveries_;
+  std::unordered_map<std::int32_t, Slot> slots_;
+  EngineStats stats_;
+};
+
+}  // namespace osiris::recovery

@@ -1,0 +1,69 @@
+// Recovery policies (paper SIV-B and SVI).
+//
+// The two OSIRIS policies differ in which SEEP classes close the recovery
+// window; the two baseline policies (used in the survivability comparison,
+// Tables II/III) do not checkpoint at all.
+#pragma once
+
+#include "seep/seep.hpp"
+
+namespace osiris::seep {
+
+enum class Policy : std::uint8_t {
+  /// Baseline: restart the crashed component with *fresh initial state*
+  /// (models microreboot systems; state is lost).
+  kStateless,
+  /// Baseline: restart the component but keep the crashed state as-is
+  /// (best-effort, no rollback), and error-reply the requester.
+  kNaive,
+  /// OSIRIS pessimistic: sending *any* outbound message closes the window.
+  kPessimistic,
+  /// OSIRIS enhanced (default): only state-modifying SEEPs close the window.
+  kEnhanced,
+  /// SVII composable-policy extension: like enhanced, but requester-scoped
+  /// SEEPs keep the window open (tainting it); reconciliation then kills
+  /// the requester instead of error-replying.
+  kExtended,
+};
+
+/// Does this policy maintain checkpoints / recovery windows at all?
+[[nodiscard]] constexpr bool policy_uses_windows(Policy p) {
+  return p == Policy::kPessimistic || p == Policy::kEnhanced || p == Policy::kExtended;
+}
+
+/// Does an outbound message of the given SEEP class close the window?
+[[nodiscard]] constexpr bool policy_closes_window(Policy p, SeepClass cls) {
+  switch (p) {
+    case Policy::kStateless:
+    case Policy::kNaive:
+      return false;  // no window to close
+    case Policy::kPessimistic:
+      return true;  // any outbound interaction
+    case Policy::kEnhanced:
+      // Without the kill-requester reconciliation, requester-scoped effects
+      // are as fatal as any other dependency: close.
+      return cls != SeepClass::kNonStateModifying;
+    case Policy::kExtended:
+      return cls == SeepClass::kStateModifying;
+  }
+  return true;
+}
+
+/// Does an outbound message of the given SEEP class *taint* the window
+/// (recovery stays possible, but reconciliation must kill the requester)?
+[[nodiscard]] constexpr bool policy_taints_window(Policy p, SeepClass cls) {
+  return p == Policy::kExtended && cls == SeepClass::kRequesterScoped;
+}
+
+[[nodiscard]] constexpr const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kStateless: return "stateless";
+    case Policy::kNaive: return "naive";
+    case Policy::kPessimistic: return "pessimistic";
+    case Policy::kEnhanced: return "enhanced";
+    case Policy::kExtended: return "extended";
+  }
+  return "?";
+}
+
+}  // namespace osiris::seep

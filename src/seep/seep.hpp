@@ -1,0 +1,64 @@
+// Side Effect Engraved Passages (SEEPs) — paper SIII-A / SIV-B.
+//
+// Every inter-component channel is wrapped in a SEEP that carries a static
+// classification of the messages flowing through it: does the request modify
+// the receiver's state (creating a cross-component dependency), and can the
+// sender be answered with an error reply after recovery?
+//
+// The paper computes this classification with an LLVM pass over outbound
+// call sites; we hand-author the same static table (see servers/protocol.cpp
+// for the system-wide classification, the output the pass would produce).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace osiris::seep {
+
+enum class SeepClass : std::uint8_t {
+  /// The interaction does not change the receiver's state (read-only query,
+  /// lookups, retrievals). Safe inside a recovery window under the enhanced
+  /// policy: the receiver learns nothing about the sender's state.
+  kNonStateModifying,
+  /// The interaction changes the receiver's state: rolling back the sender
+  /// afterwards would orphan that change. Closes the recovery window.
+  kStateModifying,
+  /// The interaction changes receiver state that belongs exclusively to the
+  /// *requesting process* (its address space, its fd table). Rolling back
+  /// the sender orphans only requester-local state, which killing the
+  /// requester cleans up automatically — the paper's SVII extensibility
+  /// example. Under the extended policy such a SEEP taints the window
+  /// instead of closing it; every other policy treats it as
+  /// state-modifying.
+  kRequesterScoped,
+};
+
+struct MsgTraits {
+  SeepClass seep = SeepClass::kStateModifying;  // conservative default
+  /// Whether the *incoming* message of this type is a request whose sender
+  /// waits for a reply, so reconciliation may error-virtualize it (E_CRASH).
+  bool replyable = true;
+};
+
+/// System-wide static SEEP classification: message type -> traits.
+/// Message types are globally unique across server protocols, so the table
+/// does not need to be keyed by destination.
+class Classification {
+ public:
+  void set(std::uint32_t type, SeepClass seep, bool replyable = true) {
+    table_[type] = MsgTraits{seep, replyable};
+  }
+
+  /// Unknown types get the conservative default (state-modifying, replyable).
+  [[nodiscard]] MsgTraits get(std::uint32_t type) const {
+    auto it = table_.find(type);
+    return it == table_.end() ? MsgTraits{} : it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, MsgTraits> table_;
+};
+
+}  // namespace osiris::seep

@@ -1,0 +1,119 @@
+// Recovery-window state machine (paper SIV-B, Figure 2).
+//
+// One Window per component. It opens at the top of the request processing
+// loop (which is also where the checkpoint — an undo-log reset — is taken)
+// and closes at the first outbound SEEP the policy forbids, or when a
+// cooperative thread yields (SIV-E). While open, rolling back the undo log
+// provably returns the whole system to a consistent state; once closed, the
+// undo log is discarded and instrumentation stops logging (the SIV-D
+// optimization).
+//
+// The Window also owns the recovery-coverage accounting behind Table I:
+// every fi:: probe reports a basic-block execution, attributed to
+// inside/outside the window.
+#pragma once
+
+#include <cstdint>
+
+#include "ckpt/context.hpp"
+#include "seep/policy.hpp"
+
+namespace osiris::seep {
+
+struct WindowStats {
+  std::uint64_t opened = 0;
+  std::uint64_t closed_by_seep = 0;
+  std::uint64_t closed_by_yield = 0;
+  std::uint64_t tainted = 0;
+  std::uint64_t probe_hits_inside = 0;
+  std::uint64_t probe_hits_outside = 0;
+
+  [[nodiscard]] double coverage() const noexcept {
+    const std::uint64_t total = probe_hits_inside + probe_hits_outside;
+    return total == 0 ? 0.0 : static_cast<double>(probe_hits_inside) / static_cast<double>(total);
+  }
+};
+
+class Window {
+ public:
+  Window(Policy policy, ckpt::Context& ctx) : policy_(policy), ctx_(ctx) {}
+
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+
+  [[nodiscard]] Policy policy() const noexcept { return policy_; }
+  [[nodiscard]] bool is_open() const noexcept { return open_; }
+
+  /// True when a requester-scoped SEEP left the window open under the
+  /// extended policy: recovery must kill the requester to reconcile.
+  [[nodiscard]] bool is_tainted() const noexcept { return tainted_; }
+
+  /// Top of the request processing loop: take the checkpoint and open the
+  /// window. Under non-window policies this is a no-op.
+  void open() {
+    if (!policy_uses_windows(policy_)) return;
+    ctx_.log().checkpoint();
+    open_ = true;
+    tainted_ = false;
+    ctx_.set_window_open(true);
+    ++stats_.opened;
+  }
+
+  /// Called *before* each outbound SEEP message leaves the component.
+  void on_outbound(SeepClass cls) {
+    if (!open_) return;
+    if (policy_taints_window(policy_, cls)) {
+      if (!tainted_) ++stats_.tainted;
+      tainted_ = true;
+      return;  // window survives: reconciliation will kill the requester
+    }
+    if (policy_closes_window(policy_, cls)) {
+      close_common();
+      ++stats_.closed_by_seep;
+    }
+  }
+
+  /// Forced close when a cooperative thread yields mid-request (SIV-E).
+  void on_yield() {
+    if (open_) {
+      close_common();
+      ++stats_.closed_by_yield;
+    }
+  }
+
+  /// End of request processing: the window simply ends (no statistics —
+  /// the next open() re-checkpoints).
+  void end_of_request() {
+    open_ = false;
+    tainted_ = false;
+    ctx_.set_window_open(false);
+  }
+
+  /// Coverage probe (invoked by fi:: basic-block probes).
+  void probe_hit() noexcept {
+    if (open_) {
+      ++stats_.probe_hits_inside;
+    } else {
+      ++stats_.probe_hits_outside;
+    }
+  }
+
+  [[nodiscard]] const WindowStats& stats() const noexcept { return stats_; }
+
+ private:
+  void close_common() {
+    open_ = false;
+    ctx_.set_window_open(false);
+    // Past the window the checkpoint can never be restored: discard the log
+    // now and stop paying for instrumentation (SIV-D).
+    ctx_.log().checkpoint();
+  }
+
+  Policy policy_;
+  ckpt::Context& ctx_;
+  bool open_ = false;
+  bool tainted_ = false;
+  WindowStats stats_;
+};
+
+}  // namespace osiris::seep

@@ -1,0 +1,113 @@
+#include "servers/rs.hpp"
+
+#include "support/log.hpp"
+
+namespace osiris::servers {
+
+using kernel::make_reply;
+using kernel::Message;
+using kernel::OK;
+
+void Rs::monitor(kernel::Endpoint ep) {
+  const std::size_t i = st().comps.alloc();
+  OSIRIS_ASSERT(i != decltype(st().comps)::npos);
+  auto& c = st().comps.mutate(i);
+  c.ep = ep.value;
+}
+
+void Rs::start_heartbeats(Tick interval) {
+  OSIRIS_ASSERT(interval > 0);
+  sweep_interval_ = interval;
+  schedule_next_sweep();
+}
+
+void Rs::schedule_next_sweep() {
+  if (sweep_interval_ == 0) return;
+  kernel::Kernel* k = &kern();
+  const auto self = endpoint();
+  k->clock().call_after(sweep_interval_, [k, self] { k->notify(self, self, RS_SWEEP); });
+}
+
+void Rs::do_sweep() {
+  FI_BLOCK("rs");
+  st().sweeps += 1;
+
+  // Round 1: anyone who missed two consecutive pings is declared hung and
+  // handed to the recovery engine (hang -> crash conversion, SII-E).
+  st().comps.for_each([&](std::size_t i, const RsCompInfo& c) {
+    if (FI_BRANCH("rs", c.pings_outstanding >= 2)) {
+      st().hangs_detected += 1;
+      OSIRIS_INFO("rs", "endpoint %d missed %u pings: recovering", c.ep, c.pings_outstanding);
+      st().comps.mutate(i).pings_outstanding = 0;
+      kern().recover_hung(kernel::Endpoint{c.ep});
+    }
+  });
+
+  FI_BLOCK("rs");
+  // Publish liveness telemetry ASYNCHRONOUSLY: the Recovery Server must
+  // never block on a component it monitors — a synchronous call into a hung
+  // DS would hang RS itself and leave the whole system unrecoverable.
+  if (st().sweeps % 4 == 1) {
+    Message pub = kernel::make_msg(DS_PUBLISH, st().sweeps);
+    pub.text.assign("rs.sweeps");
+    seep_send(kernel::kDsEp, pub);
+    FI_BLOCK("rs");
+  }
+
+  // Round 2: ping everyone for the next sweep.
+  st().comps.for_each([&](std::size_t i, const RsCompInfo& c) {
+    st().comps.mutate(i).pings_outstanding = c.pings_outstanding + 1;
+    seep_notify(kernel::Endpoint{c.ep}, RS_PING);
+    st().pings_sent += 1;
+  });
+  schedule_next_sweep();
+}
+
+std::optional<Message> Rs::handle(const Message& m) {
+  FI_BLOCK("rs");
+  switch (m.type) {
+    case RS_SWEEP | kernel::kNotifyBit:
+      do_sweep();
+      return std::nullopt;
+
+    case RS_PONG | kernel::kNotifyBit: {
+      const std::int32_t ep = m.sender.value;
+      const std::size_t i =
+          st().comps.find([ep](const RsCompInfo& c) { return c.ep == ep; });
+      if (i != decltype(st().comps)::npos) {
+        auto& c = st().comps.mutate(i);
+        c.pings_outstanding = 0;
+        c.last_pong_tick = kern().clock().now();
+      }
+      return std::nullopt;
+    }
+
+    case RS_STATUS: {
+      FI_BLOCK("rs");
+      const auto ep = kernel::Endpoint{static_cast<std::int32_t>(m.arg[0])};
+      // Scan the monitoring table for liveness info on the queried endpoint.
+      std::uint64_t last_pong = 0;
+      st().comps.for_each([&](std::size_t, const RsCompInfo& c) {
+        FI_BLOCK("rs");
+        if (c.ep == ep.value) last_pong = c.last_pong_tick;
+      });
+      FI_BLOCK("rs");
+      Message r = make_reply(m.type, OK);
+      r.arg[1] = engine_ != nullptr ? engine_->recoveries_of(ep) : 0;
+      r.arg[2] = st().hangs_detected;
+      r.arg[3] = last_pong;
+      return r;
+    }
+
+    case DS_NOTIFY_SUB | kernel::kNotifyBit:
+      return std::nullopt;  // informational: a watched key changed
+
+    case kernel::reply_type(DS_PUBLISH):
+      return std::nullopt;  // async telemetry ack (possibly E_CRASH): ignored
+
+    default:
+      return make_reply(m.type, kernel::E_NOSYS);
+  }
+}
+
+}  // namespace osiris::servers

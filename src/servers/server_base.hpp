@@ -1,0 +1,185 @@
+// ServerBase: the event-driven programming model of Figure 1, with the
+// checkpoint/recovery-window discipline wired in.
+//
+// Every system server derives from ServerBase<State>, where State is the
+// server's entire recoverable data section: a trivially-copyable struct
+// composed of ckpt::Cell / Array / Table / Str members. The base class:
+//
+//   - opens the recovery window (and takes the checkpoint — an undo-log
+//     reset) at the "top of the loop", i.e. when a replyable request
+//     arrives;
+//   - routes all outbound communication through SEEP wrappers that consult
+//     the static classification and the active policy, closing the window
+//     when required (Figure 2);
+//   - activates the server's checkpointing context and fault-injection
+//     attribution for the duration of the dispatch, including across nested
+//     calls into other servers;
+//   - answers heartbeat pings from the Recovery Server;
+//   - implements the recovery::Recoverable interface over State.
+//
+// Defensive checks in handlers use SRV_CHECK, which converts would-be
+// fail-silent misbehaviour into a fail-stop fault (paper SII-E).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <type_traits>
+
+#include "ckpt/cell.hpp"
+#include "ckpt/context.hpp"
+#include "fi/registry.hpp"
+#include "kernel/faults.hpp"
+#include "kernel/kernel.hpp"
+#include "recovery/recoverable.hpp"
+#include "seep/policy.hpp"
+#include "seep/seep.hpp"
+#include "seep/window.hpp"
+#include "servers/protocol.hpp"
+
+namespace osiris::servers {
+
+/// Defensive-programming trap: a violated invariant is a fail-stop fault of
+/// the *current component*, contained by the kernel at the dispatch boundary.
+[[noreturn]] inline void fail_stop(const char* what) {
+  throw kernel::FailStopFault(what, /*site_id=*/0);
+}
+
+#define SRV_CHECK(cond, what)                          \
+  do {                                                 \
+    if (!(cond)) ::osiris::servers::fail_stop(what);   \
+  } while (0)
+
+/// RAII attribution of fi:: probes to the current component.
+class FiScope {
+ public:
+  FiScope(seep::Window* window, int endpoint) : saved_(fi::Registry::instance().active()) {
+    fi::Registry::instance().set_active({window, endpoint});
+  }
+  ~FiScope() { fi::Registry::instance().set_active(saved_); }
+  FiScope(const FiScope&) = delete;
+  FiScope& operator=(const FiScope&) = delete;
+
+ private:
+  fi::ActiveComponent saved_;
+};
+
+class ServerCommon : public kernel::IServer, public recovery::Recoverable {
+ public:
+  ServerCommon(kernel::Kernel& kernel, kernel::Endpoint ep, std::string name,
+               const seep::Classification& classification, seep::Policy policy,
+               ckpt::Mode ckpt_mode)
+      : kernel_(kernel),
+        ep_(ep),
+        name_(std::move(name)),
+        classification_(classification),
+        ctx_(ckpt_mode),
+        window_(policy, ctx_) {}
+
+  // --- IServer ---------------------------------------------------------
+  [[nodiscard]] std::string_view name() const final { return name_; }
+
+  std::optional<kernel::Message> dispatch(const kernel::Message& m) final {
+    ckpt::Context::Scope ctx_scope(&ctx_);
+    FiScope fi_scope(&window_, ep_.value);
+
+    // Heartbeat protocol: answered by the base class in every server.
+    if (m.type == (RS_PING | kernel::kNotifyBit)) {
+      kernel_.notify(ep_, kernel::kRsEp, RS_PONG);
+      return std::nullopt;
+    }
+
+    // Top of the request processing loop: checkpoint + open the recovery
+    // window, but only for requests that reconciliation could answer with
+    // an error reply. Notifications have no requester to answer, and an
+    // asynchronous *reply* continues a previous request (Figure 1) whose
+    // sender is long gone — in both cases a rollback could never be
+    // reconciled, so the window (conservatively) stays closed.
+    const seep::MsgTraits traits = classification_.get(m.type & ~kernel::kNotifyBit);
+    if (traits.replyable && !kernel::is_notify(m.type) && !kernel::is_reply(m.type)) {
+      window_.open();
+    }
+
+    std::optional<kernel::Message> reply = handle(m);
+    window_.end_of_request();
+    return reply;
+  }
+
+  // --- Recoverable ------------------------------------------------------
+  [[nodiscard]] kernel::Endpoint endpoint() const final { return ep_; }
+  ckpt::Context& ckpt_context() final { return ctx_; }
+  seep::Window& window() final { return window_; }
+  void reinitialize() override { init_state(); }
+  void on_restored(bool /*rolled_back*/) override {}
+
+ protected:
+  /// Server logic: process one message, return the reply (or nullopt if the
+  /// reply is deferred / the message needs none).
+  virtual std::optional<kernel::Message> handle(const kernel::Message& m) = 0;
+
+  /// Boot-time (and stateless-restart) initialization of State.
+  virtual void init_state() = 0;
+
+  // --- SEEP-wrapped outbound communication ---------------------------------
+
+  /// Synchronous sendrec to another server through a SEEP.
+  kernel::Message seep_call(kernel::Endpoint dst, kernel::Message m) {
+    window_.on_outbound(classification_.get(m.type & ~kernel::kNotifyBit).seep);
+    return kernel_.call(ep_, dst, std::move(m));
+  }
+
+  /// Asynchronous send through a SEEP.
+  void seep_send(kernel::Endpoint dst, kernel::Message m) {
+    window_.on_outbound(classification_.get(m.type & ~kernel::kNotifyBit).seep);
+    kernel_.send(ep_, dst, std::move(m));
+  }
+
+  /// Notification through a SEEP.
+  void seep_notify(kernel::Endpoint dst, std::uint32_t type) {
+    window_.on_outbound(classification_.get(type).seep);
+    kernel_.notify(ep_, dst, type);
+  }
+
+  /// Deferred reply to a previously postponed request (e.g. PM waking a
+  /// waiting parent, VFS completing a disk-blocked read). Deferred replies
+  /// are mid-request sends to a third party, so they count as
+  /// state-modifying SEEPs — unlike the in-band reply returned by handle().
+  void seep_deferred_reply(kernel::Endpoint dst, kernel::Message m) {
+    window_.on_outbound(seep::SeepClass::kStateModifying);
+    kernel_.reply_to(dst, std::move(m));
+  }
+
+  kernel::Kernel& kern() noexcept { return kernel_; }
+  [[nodiscard]] const seep::Classification& classification() const noexcept {
+    return classification_;
+  }
+
+ private:
+  kernel::Kernel& kernel_;
+  kernel::Endpoint ep_;
+  std::string name_;
+  const seep::Classification& classification_;
+  ckpt::Context ctx_;
+  seep::Window window_;
+};
+
+/// Typed layer binding a concrete State struct as the data section.
+template <typename StateT>
+class ServerBase : public ServerCommon {
+  static_assert(std::is_trivially_copyable_v<StateT>,
+                "a server's data section must be trivially copyable for clone transfer");
+
+ public:
+  using ServerCommon::ServerCommon;
+
+  std::byte* data_section() final { return reinterpret_cast<std::byte*>(&state_); }
+  [[nodiscard]] std::size_t data_section_size() const final { return sizeof(StateT); }
+
+ protected:
+  StateT& st() noexcept { return state_; }
+  [[nodiscard]] const StateT& st() const noexcept { return state_; }
+
+ private:
+  StateT state_{};
+};
+
+}  // namespace osiris::servers

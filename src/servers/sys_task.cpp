@@ -1,0 +1,87 @@
+#include "servers/sys_task.hpp"
+
+namespace osiris::servers {
+
+using kernel::E_INVAL;
+using kernel::E_NOMEM;
+using kernel::E_SRCH;
+using kernel::make_reply;
+using kernel::Message;
+using kernel::OK;
+
+void SysTask::register_boot_proc(std::int32_t pid) {
+  const std::size_t i = st().slots.alloc();
+  OSIRIS_ASSERT(i != decltype(st().slots)::npos);
+  auto& slot = st().slots.mutate(i);
+  slot.pid = pid;
+  slot.mapped_pages = 4;
+}
+
+std::size_t SysTask::slot_of(std::int32_t pid) const {
+  return st().slots.find([pid](const SysProcSlot& s) { return s.pid == pid; });
+}
+
+std::optional<Message> SysTask::handle(const Message& m) {
+  constexpr auto npos = decltype(SysState{}.slots)::npos;
+  switch (m.type) {
+    case SYS_FORK: {
+      const auto child = static_cast<std::int32_t>(m.arg[1]);
+      if (slot_of(child) != npos) return make_reply(m.type, E_INVAL);
+      const std::size_t i = st().slots.alloc();
+      if (i == npos) return make_reply(m.type, E_NOMEM);
+      auto& slot = st().slots.mutate(i);
+      slot.pid = child;
+      slot.mapped_pages = 0;
+      return make_reply(m.type, OK);
+    }
+    case SYS_EXIT: {
+      const std::size_t i = slot_of(static_cast<std::int32_t>(m.arg[0]));
+      if (i == npos) return make_reply(m.type, E_SRCH);
+      st().slots.free(i);
+      return make_reply(m.type, OK);
+    }
+    case SYS_MAP: {
+      const std::size_t i = slot_of(static_cast<std::int32_t>(m.arg[0]));
+      if (i == npos) return make_reply(m.type, E_SRCH);
+      st().slots.mutate(i).mapped_pages += static_cast<std::uint32_t>(m.arg[2]);
+      st().maps += 1;
+      return make_reply(m.type, OK);
+    }
+    case SYS_UNMAP: {
+      const std::size_t i = slot_of(static_cast<std::int32_t>(m.arg[0]));
+      if (i == npos) return make_reply(m.type, E_SRCH);
+      auto& slot = st().slots.mutate(i);
+      const auto n = static_cast<std::uint32_t>(m.arg[2]);
+      slot.mapped_pages = slot.mapped_pages >= n ? slot.mapped_pages - n : 0;
+      st().unmaps += 1;
+      return make_reply(m.type, OK);
+    }
+    case SYS_GETINFO: {
+      // what: 0 = #kernel slots in use, 1 = total mapped pages.
+      std::uint64_t v = 0;
+      if (m.arg[0] == 0) {
+        v = st().slots.in_use_count();
+      } else {
+        st().slots.for_each([&v](std::size_t, const SysProcSlot& s) { v += s.mapped_pages; });
+      }
+      Message r = make_reply(m.type, OK);
+      r.arg[1] = v;
+      return r;
+    }
+    case SYS_TIMES: {
+      Message r = make_reply(m.type, OK);
+      r.arg[1] = kern().clock().now();
+      return r;
+    }
+    case SYS_PRIV: {
+      const std::size_t i = slot_of(static_cast<std::int32_t>(m.arg[0]));
+      if (i == npos) return make_reply(m.type, E_SRCH);
+      st().slots.mutate(i).priv_flags = m.arg[1];
+      return make_reply(m.type, OK);
+    }
+    default:
+      return make_reply(m.type, kernel::E_NOSYS);
+  }
+}
+
+}  // namespace osiris::servers

@@ -1,0 +1,28 @@
+// Common assertion and panic helpers used across the OSIRIS code base.
+//
+// OSIRIS distinguishes two kinds of "impossible" conditions:
+//  - programming errors in the simulator / harness itself (use OSIRIS_ASSERT;
+//    these abort the whole process because the experiment is invalid), and
+//  - fail-stop faults inside a simulated OS component (those are modelled by
+//    osiris::fi and *never* abort the host process).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace osiris {
+
+[[noreturn]] inline void panic(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "OSIRIS PANIC at %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace osiris
+
+#define OSIRIS_ASSERT(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) ::osiris::panic(__FILE__, __LINE__, "assertion failed: " #cond); \
+  } while (0)
+
+#define OSIRIS_PANIC(msg) ::osiris::panic(__FILE__, __LINE__, (msg))

@@ -1,0 +1,52 @@
+// Fixed-capacity, trivially-copyable string.
+//
+// Server state (process names, path components, DS keys) must be trivially
+// copyable so that the Recovery Server can transfer a crashed component's
+// data section into a spare clone with a single memcpy, and so that undo-log
+// rollback of raw bytes restores a valid value. FixedString provides string
+// semantics under those constraints.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace osiris {
+
+template <std::size_t N>
+class FixedString {
+  static_assert(N >= 1, "FixedString needs room for at least the terminator");
+
+ public:
+  constexpr FixedString() noexcept : len_(0) { buf_[0] = '\0'; }
+
+  FixedString(std::string_view s) noexcept { assign(s); }  // NOLINT(google-explicit-constructor)
+
+  void assign(std::string_view s) noexcept {
+    len_ = s.size() < N - 1 ? s.size() : N - 1;
+    std::memcpy(buf_, s.data(), len_);
+    buf_[len_] = '\0';
+  }
+
+  void clear() noexcept {
+    len_ = 0;
+    buf_[0] = '\0';
+  }
+
+  [[nodiscard]] std::string_view view() const noexcept { return {buf_, len_}; }
+  [[nodiscard]] const char* c_str() const noexcept { return buf_; }
+  [[nodiscard]] std::size_t size() const noexcept { return len_; }
+  [[nodiscard]] bool empty() const noexcept { return len_ == 0; }
+  [[nodiscard]] static constexpr std::size_t capacity() noexcept { return N - 1; }
+  [[nodiscard]] std::string str() const { return std::string(view()); }
+
+  friend bool operator==(const FixedString& a, std::string_view b) noexcept { return a.view() == b; }
+  friend bool operator==(const FixedString& a, const FixedString& b) noexcept { return a.view() == b.view(); }
+
+ private:
+  std::size_t len_;
+  char buf_[N];
+};
+
+}  // namespace osiris

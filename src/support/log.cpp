@@ -1,0 +1,36 @@
+#include "support/log.hpp"
+
+namespace osiris::slog {
+namespace {
+
+Level g_threshold = Level::kWarn;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level threshold() noexcept { return g_threshold; }
+
+void set_threshold(Level level) noexcept { g_threshold = level; }
+
+void logf(Level level, const char* tag, const char* fmt, ...) {
+  if (level < g_threshold) return;
+  std::fprintf(stderr, "[%s] %-8s ", level_name(level), tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace osiris::slog

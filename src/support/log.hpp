@@ -1,0 +1,35 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by construction (one host thread runs the
+// kernel, all servers and all fibers cooperatively), so no synchronization is
+// needed. Logging defaults to kWarn so that test suites and benchmarks stay
+// quiet; examples raise the level to narrate recovery flows.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace osiris::slog {
+
+enum class Level : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log threshold; messages below it are dropped.
+Level threshold() noexcept;
+void set_threshold(Level level) noexcept;
+
+/// printf-style logging. `tag` names the emitting subsystem ("kernel", "pm", ...).
+void logf(Level level, const char* tag, const char* fmt, ...) __attribute__((format(printf, 3, 4)));
+
+}  // namespace osiris::slog
+
+#define OSIRIS_LOG(level, tag, ...)                                       \
+  do {                                                                    \
+    if ((level) >= ::osiris::slog::threshold())                           \
+      ::osiris::slog::logf((level), (tag), __VA_ARGS__);                  \
+  } while (0)
+
+#define OSIRIS_TRACE(tag, ...) OSIRIS_LOG(::osiris::slog::Level::kTrace, tag, __VA_ARGS__)
+#define OSIRIS_DEBUG(tag, ...) OSIRIS_LOG(::osiris::slog::Level::kDebug, tag, __VA_ARGS__)
+#define OSIRIS_INFO(tag, ...) OSIRIS_LOG(::osiris::slog::Level::kInfo, tag, __VA_ARGS__)
+#define OSIRIS_WARN(tag, ...) OSIRIS_LOG(::osiris::slog::Level::kWarn, tag, __VA_ARGS__)
+#define OSIRIS_ERROR(tag, ...) OSIRIS_LOG(::osiris::slog::Level::kError, tag, __VA_ARGS__)

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generator (SplitMix64).
+//
+// Every stochastic choice in OSIRIS (fault-site selection, workload data,
+// disk latency jitter) flows through an explicitly seeded Rng so that every
+// experiment in the paper reproduction is replayable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "support/common.hpp"
+
+namespace osiris {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    OSIRIS_ASSERT(bound > 0);
+    return next() % bound;
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    OSIRIS_ASSERT(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) noexcept { return below(den) < num; }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Derive an independent child stream (for per-run seeding).
+  Rng fork() noexcept { return Rng(next()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace osiris

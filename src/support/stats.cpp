@@ -1,0 +1,53 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace osiris::stats {
+
+double mean(const std::vector<double>& xs) {
+  OSIRIS_ASSERT(!xs.empty());
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double median(std::vector<double> xs) {
+  OSIRIS_ASSERT(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double stddev(const std::vector<double>& xs) {
+  OSIRIS_ASSERT(!xs.empty());
+  if (xs.size() == 1) return 0.0;
+  const double m = mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double geomean(const std::vector<double>& xs) {
+  OSIRIS_ASSERT(!xs.empty());
+  double acc = 0;
+  for (double x : xs) {
+    OSIRIS_ASSERT(x > 0);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double min(const std::vector<double>& xs) {
+  OSIRIS_ASSERT(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(const std::vector<double>& xs) {
+  OSIRIS_ASSERT(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+}  // namespace osiris::stats

@@ -1,0 +1,16 @@
+// Summary statistics used by the evaluation harness (medians, standard
+// deviations and geometric means, matching the paper's reporting style).
+#pragma once
+
+#include <vector>
+
+namespace osiris::stats {
+
+double mean(const std::vector<double>& xs);
+double median(std::vector<double> xs);  // by value: sorts a copy
+double stddev(const std::vector<double>& xs);
+double geomean(const std::vector<double>& xs);
+double min(const std::vector<double>& xs);
+double max(const std::vector<double>& xs);
+
+}  // namespace osiris::stats

@@ -1,0 +1,35 @@
+// Aligned ASCII table printer used by every bench binary so that regenerated
+// tables visually match the layout of the tables in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace osiris {
+
+class TablePrinter {
+ public:
+  /// `headers` defines the column count; every subsequent row must match it.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void add_separator();
+
+  /// Render the table to a string (also usable with std::cout <<).
+  [[nodiscard]] std::string str() const;
+  void print() const;
+
+  /// Numeric formatting helpers for table cells.
+  static std::string fmt(double v, int decimals = 1);
+  static std::string pct(double fraction, int decimals = 1);  // 0.684 -> "68.4%"
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace osiris

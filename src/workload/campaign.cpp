@@ -1,0 +1,124 @@
+#include "workload/campaign.hpp"
+
+#include "os/instance.hpp"
+#include "support/rng.hpp"
+#include "workload/suite.hpp"
+
+namespace osiris::workload {
+
+namespace {
+
+SuiteResult run_suite_fresh(seep::Policy policy) {
+  os::OsConfig cfg;
+  cfg.policy = policy;
+  os::OsInstance inst(cfg);
+  register_suite_programs(inst.programs());
+  inst.boot();
+  return run_suite(inst);
+}
+
+}  // namespace
+
+std::vector<std::pair<fi::Site*, std::uint64_t>> profile_sites() {
+  fi::Registry::instance().disarm();
+  fi::Registry::instance().reset_counts();
+  (void)run_suite_fresh(seep::Policy::kEnhanced);
+  std::vector<std::pair<fi::Site*, std::uint64_t>> out;
+  for (fi::Site* s : fi::Registry::instance().sites()) {
+    if (s->hits > 0) out.emplace_back(s, s->hits);
+  }
+  return out;
+}
+
+std::vector<Injection> plan_failstop(int points_per_site) {
+  std::vector<Injection> plan;
+  for (auto [site, hits] : profile_sites()) {
+    const int points = static_cast<int>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(points_per_site), hits));
+    for (int j = 0; j < points; ++j) {
+      // Spread the trigger points across the site's execution count.
+      const std::uint64_t trigger = 1 + (hits * static_cast<std::uint64_t>(j)) /
+                                            static_cast<std::uint64_t>(points);
+      plan.push_back(Injection{site, fi::FaultType::kNullDeref, trigger});
+    }
+  }
+  return plan;
+}
+
+std::vector<Injection> plan_edfi(std::uint64_t seed, int injections_per_site) {
+  Rng rng(seed);
+  std::vector<Injection> plan;
+  for (auto [site, hits] : profile_sites()) {
+    // Applicable EDFI fault types for this site kind.
+    std::vector<fi::FaultType> types;
+    switch (site->kind) {
+      case fi::SiteKind::kBlock:
+        types = {fi::FaultType::kNullDeref, fi::FaultType::kHang, fi::FaultType::kDelayedCrash};
+        break;
+      case fi::SiteKind::kValue:
+        types = {fi::FaultType::kCorruptValue, fi::FaultType::kOffByOne,
+                 fi::FaultType::kNullDeref, fi::FaultType::kDelayedCrash};
+        break;
+      case fi::SiteKind::kBranch:
+        types = {fi::FaultType::kBranchFlip, fi::FaultType::kBranchFlip,
+                 fi::FaultType::kNullDeref};
+        break;
+    }
+    for (int j = 0; j < injections_per_site; ++j) {
+      Injection inj;
+      inj.site = site;
+      inj.type = types[rng.below(types.size())];
+      inj.trigger_hit = rng.range(1, hits);
+      plan.push_back(inj);
+    }
+  }
+  return plan;
+}
+
+RunClass run_one_injection(seep::Policy policy, const Injection& inj) {
+  fi::Registry& reg = fi::Registry::instance();
+  reg.disarm();
+  reg.reset_counts();
+
+  os::OsConfig cfg;
+  cfg.policy = policy;
+  os::OsInstance inst(cfg);
+  register_suite_programs(inst.programs());
+  inst.boot();
+  // Arm only after boot so boot-time executions cannot trigger the fault
+  // (the plan was drawn from post-boot profiles anyway).
+  reg.arm(inj.site, inj.type, inj.trigger_hit);
+  const SuiteResult suite = run_suite(inst);
+  reg.disarm();
+
+  switch (suite.outcome) {
+    case os::OsInstance::Outcome::kShutdown:
+      return RunClass::kShutdown;
+    case os::OsInstance::Outcome::kCrashed:
+    case os::OsInstance::Outcome::kHung:
+      return RunClass::kCrash;
+    case os::OsInstance::Outcome::kCompleted:
+      if (!suite.driver_completed) return RunClass::kCrash;
+      return suite.failed == 0 ? RunClass::kPass : RunClass::kFail;
+  }
+  return RunClass::kCrash;
+}
+
+CampaignTotals run_campaign(seep::Policy policy, const std::vector<Injection>& plan,
+                            const std::function<void(int, int)>& progress) {
+  CampaignTotals totals;
+  int done = 0;
+  for (const Injection& inj : plan) {
+    switch (run_one_injection(policy, inj)) {
+      case RunClass::kPass: ++totals.pass; break;
+      case RunClass::kFail: ++totals.fail; break;
+      case RunClass::kShutdown: ++totals.shutdown; break;
+      case RunClass::kCrash: ++totals.crash; break;
+    }
+    ++done;
+    if (progress) progress(done, static_cast<int>(plan.size()));
+  }
+  return totals;
+}
+
+}  // namespace osiris::workload

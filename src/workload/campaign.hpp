@@ -1,0 +1,72 @@
+// Large-scale fault-injection campaigns (Tables II and III).
+//
+// Methodology mirrors the paper's (SVI-B):
+//   1. a profiling run of the prototype test suite determines which fault
+//      candidates (fi:: sites) are actually triggered after boot;
+//   2. an injection plan is drawn once — fail-stop-only for Table II, the
+//      full EDFI software-fault mix for Table III — and the *same* plan is
+//      applied to every recovery policy for comparability;
+//   3. each injection runs in a fresh OS instance; the run is classified as
+//      pass / fail / shutdown / crash from the suite result and the
+//      machine's fate.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fi/fault.hpp"
+#include "fi/registry.hpp"
+#include "seep/policy.hpp"
+
+namespace osiris::workload {
+
+enum class RunClass : std::uint8_t { kPass, kFail, kShutdown, kCrash };
+
+[[nodiscard]] constexpr const char* run_class_name(RunClass c) {
+  switch (c) {
+    case RunClass::kPass: return "pass";
+    case RunClass::kFail: return "fail";
+    case RunClass::kShutdown: return "shutdown";
+    case RunClass::kCrash: return "crash";
+  }
+  return "?";
+}
+
+struct Injection {
+  const fi::Site* site = nullptr;
+  fi::FaultType type = fi::FaultType::kNone;
+  std::uint64_t trigger_hit = 1;
+};
+
+/// Profiling run: returns the triggered, non-boot-time sites with their
+/// per-run hit counts (the fault-candidate pool).
+std::vector<std::pair<fi::Site*, std::uint64_t>> profile_sites();
+
+/// Draw the fail-stop plan: `points_per_site` null-deref injections per
+/// triggered site, spread across its execution count.
+std::vector<Injection> plan_failstop(int points_per_site = 3);
+
+/// Draw the full-EDFI plan: a seeded mix of applicable fault types.
+std::vector<Injection> plan_edfi(std::uint64_t seed = 316, int injections_per_site = 2);
+
+/// Run one injection under a policy; returns its classification.
+RunClass run_one_injection(seep::Policy policy, const Injection& inj);
+
+struct CampaignTotals {
+  int pass = 0;
+  int fail = 0;
+  int shutdown = 0;
+  int crash = 0;
+
+  [[nodiscard]] int total() const { return pass + fail + shutdown + crash; }
+  [[nodiscard]] double frac(int n) const {
+    return total() == 0 ? 0.0 : static_cast<double>(n) / total();
+  }
+};
+
+/// Apply a whole plan under one policy. `progress` (optional) is invoked
+/// after every run with (done, total).
+CampaignTotals run_campaign(seep::Policy policy, const std::vector<Injection>& plan,
+                            const std::function<void(int, int)>& progress = {});
+
+}  // namespace osiris::workload

@@ -1,0 +1,33 @@
+#include "workload/coverage.hpp"
+
+#include "os/instance.hpp"
+#include "workload/suite.hpp"
+
+namespace osiris::workload {
+
+CoverageReport measure_coverage(seep::Policy policy) {
+  os::OsConfig cfg;
+  cfg.policy = policy;
+  os::OsInstance inst(cfg);
+  register_suite_programs(inst.programs());
+  inst.boot();
+  const SuiteResult suite = run_suite(inst);
+
+  CoverageReport report;
+  report.suite_passed = suite.passed;
+  report.suite_failed = suite.failed;
+  std::uint64_t total_hits = 0;
+  double weighted = 0.0;
+  for (recovery::Recoverable* comp : inst.components()) {
+    const seep::WindowStats& ws = comp->window().stats();
+    const std::uint64_t hits = ws.probe_hits_inside + ws.probe_hits_outside;
+    report.servers.push_back(
+        ServerCoverage{std::string(comp->name()), ws.coverage(), hits});
+    total_hits += hits;
+    weighted += ws.coverage() * static_cast<double>(hits);
+  }
+  report.weighted_mean = total_hits > 0 ? weighted / static_cast<double>(total_hits) : 0.0;
+  return report;
+}
+
+}  // namespace osiris::workload

@@ -1,0 +1,31 @@
+// Recovery-coverage measurement (Table I).
+//
+// Runs the prototype test suite under a given recovery policy and reports,
+// per server, the fraction of executed basic blocks (fi:: probe hits) that
+// fell inside an open recovery window, plus the mean weighted by per-server
+// execution share — exactly the quantity of the paper's Table I.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "seep/policy.hpp"
+
+namespace osiris::workload {
+
+struct ServerCoverage {
+  std::string server;
+  double coverage = 0.0;       // probe hits inside window / total probe hits
+  std::uint64_t total_hits = 0;
+};
+
+struct CoverageReport {
+  std::vector<ServerCoverage> servers;
+  double weighted_mean = 0.0;  // weighted by per-server execution (hits)
+  int suite_passed = 0;
+  int suite_failed = 0;
+};
+
+CoverageReport measure_coverage(seep::Policy policy);
+
+}  // namespace osiris::workload

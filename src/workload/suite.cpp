@@ -1,0 +1,114 @@
+#include "workload/suite.hpp"
+
+#include "workload/suite_internal.hpp"
+
+namespace osiris::workload {
+
+using os::ISys;
+using os::StatResult;
+using namespace osiris::servers;
+using kernel::OK;
+
+const std::vector<SuiteTest>& suite_tests() {
+  static const std::vector<SuiteTest> tests = [] {
+    std::vector<SuiteTest> out;
+    add_proc_tests(out);
+    add_fs_tests(out);
+    add_pipe_tests(out);
+    add_misc_tests(out);
+    OSIRIS_ASSERT(out.size() == 89);  // the paper's 89-program suite
+    return out;
+  }();
+  return tests;
+}
+
+void register_suite_programs(os::ProgramRegistry& registry) {
+  registry.add("true", [](ISys&) -> std::int64_t { return 0; });
+  registry.add("false", [](ISys&) -> std::int64_t { return 1; });
+
+  registry.add("pidcheck", [](ISys& sys) -> std::int64_t {
+    std::uint64_t want = 0;
+    if (sys.ds_retrieve("test.pid", &want) != OK) return 2;
+    return sys.getpid() == static_cast<std::int64_t>(want) ? 0 : 1;
+  });
+
+  registry.add("chain1", [](ISys& sys) -> std::int64_t {
+    sys.exec("/bin/true");
+    return 98;  // unreachable on success
+  });
+  registry.add("chain0", [](ISys& sys) -> std::int64_t {
+    sys.exec("/bin/chain1");
+    return 97;
+  });
+
+  registry.add("wc_fd", [](ISys& sys) -> std::int64_t {
+    std::uint64_t fd = 0;
+    if (sys.ds_retrieve("suite.wc.fd", &fd) != OK) return -1;
+    char buf[64];
+    std::int64_t total = 0, n;
+    while ((n = rd(sys, static_cast<std::int64_t>(fd), buf, sizeof buf)) > 0) total += n;
+    return total;
+  });
+
+  registry.add("cat_size", [](ISys& sys) -> std::int64_t {
+    StatResult st{};
+    if (sys.stat("/tmp/xexec", &st) != OK) return -1;
+    return static_cast<std::int64_t>(st.size);
+  });
+
+  // The canned shell script used by t_shell_script and the shell1/shell8
+  // unixbench workloads: a mix of common commands (mkdir, tee, cat, rm).
+  registry.add("sh_script", [](ISys& sys) -> std::int64_t {
+    const std::string dir = "/tmp/sh" + std::to_string(sys.getpid());
+    if (sys.mkdir(dir) != OK) return 1;
+    const std::string file = dir + "/out";
+    const std::int64_t fd = sys.open(file, O_CREAT | O_RDWR);
+    if (fd < 0) return 2;
+    if (wr(sys, fd, "shell test data\n") != 16) return 3;
+    if (sys.lseek(fd, 0, 0) != 0) return 4;
+    char buf[32] = {};
+    if (rd(sys, fd, buf, 16) != 16) return 5;
+    if (sys.close(fd) != OK) return 6;
+    StatResult st{};
+    if (sys.stat(file, &st) != OK || st.size != 16) return 7;
+    const std::int64_t pid = sys.fork([](ISys& c) {
+      c.exec("/bin/true");
+      c.exit(96);
+    });
+    if (pid <= 0) return 8;
+    std::int64_t s = -1;
+    if (sys.wait_pid(pid, &s) != pid || s != 0) return 9;
+    if (sys.unlink(file) != OK) return 10;
+    if (sys.rmdir(dir) != OK) return 11;
+    return 0;
+  });
+}
+
+SuiteResult run_suite(os::OsInstance& inst) {
+  SuiteResult res;
+  SuiteResult* out = &res;
+  res.outcome = inst.run([out](ISys& sys) {
+    for (const SuiteTest& t : suite_tests()) {
+      const SuiteTest* tp = &t;
+      const std::int64_t pid =
+          sys.fork([tp](ISys& c) { c.exit(tp->body(c)); });
+      if (pid <= 0) {
+        ++out->failed;
+        out->failures.push_back(t.name + " (fork: " + std::to_string(pid) + ")");
+        continue;
+      }
+      std::int64_t status = -1;
+      const std::int64_t got = sys.wait_pid(pid, &status);
+      if (got == pid && status == 0) {
+        ++out->passed;
+      } else {
+        ++out->failed;
+        out->failures.push_back(t.name + " (rc=" + std::to_string(status) + ")");
+      }
+    }
+    out->driver_completed = true;
+  });
+  return res;
+}
+
+}  // namespace osiris::workload

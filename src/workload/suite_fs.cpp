@@ -1,0 +1,431 @@
+// Filesystem tests (VFS-heavy, including disk-blocking paths): tests 29-53.
+#include <cstring>
+
+#include "workload/suite_internal.hpp"
+
+namespace osiris::workload {
+
+using os::ISys;
+using os::StatResult;
+using namespace osiris::servers;
+using kernel::E_BADF;
+using kernel::E_EXIST;
+using kernel::E_ISDIR;
+using kernel::E_NOENT;
+using kernel::E_NOTEMPTY;
+using kernel::OK;
+
+namespace {
+
+std::int64_t t_create_write_read(ISys& sys) {
+  const std::int64_t fd = sys.open("/tmp/a", O_CREAT | O_RDWR);
+  REQ(fd >= 0);
+  REQ_EQ(wr(sys, fd, "alpha"), 5);
+  REQ_EQ(sys.lseek(fd, 0, 0), 0);
+  char buf[8] = {};
+  REQ_EQ(rd(sys, fd, buf, 5), 5);
+  REQ_EQ(std::string_view(buf, 5), std::string_view("alpha"));
+  REQ_EQ(sys.close(fd), OK);
+  REQ_EQ(sys.unlink("/tmp/a"), OK);
+  return 0;
+}
+
+std::int64_t t_open_missing(ISys& sys) {
+  REQ_EQ(sys.open("/tmp/missing-file", O_RDONLY), E_NOENT);
+  return 0;
+}
+
+std::int64_t t_stat_matches_writes(ISys& sys) {
+  const std::int64_t fd = sys.open("/tmp/b", O_CREAT | O_WRONLY);
+  REQ(fd >= 0);
+  REQ_EQ(wr(sys, fd, "0123456789"), 10);
+  REQ_EQ(sys.close(fd), OK);
+  StatResult st{};
+  REQ_EQ(sys.stat("/tmp/b", &st), OK);
+  REQ_EQ(st.size, 10u);
+  REQ_EQ(st.type, static_cast<std::uint64_t>(fs::FileType::kRegular));
+  REQ_EQ(sys.unlink("/tmp/b"), OK);
+  return 0;
+}
+
+std::int64_t t_fstat_tracks_pos(ISys& sys) {
+  const std::int64_t fd = sys.open("/tmp/c", O_CREAT | O_RDWR);
+  REQ(fd >= 0);
+  REQ_EQ(wr(sys, fd, "xyz"), 3);
+  StatResult st{};
+  REQ_EQ(sys.fstat(fd, &st), OK);
+  REQ_EQ(st.size, 3u);
+  REQ_EQ(sys.close(fd), OK);
+  REQ_EQ(sys.unlink("/tmp/c"), OK);
+  return 0;
+}
+
+std::int64_t t_lseek_and_sparse(ISys& sys) {
+  const std::int64_t fd = sys.open("/tmp/sparse", O_CREAT | O_RDWR);
+  REQ(fd >= 0);
+  REQ_EQ(sys.lseek(fd, 3000, 0), 3000);
+  REQ_EQ(wr(sys, fd, "end"), 3);
+  REQ_EQ(sys.lseek(fd, 0, 0), 0);
+  char buf[8] = {1, 1, 1};
+  REQ_EQ(rd(sys, fd, buf, 4), 4);
+  REQ(buf[0] == 0 && buf[1] == 0 && buf[2] == 0);  // hole reads back zeroes
+  REQ_EQ(sys.close(fd), OK);
+  REQ_EQ(sys.unlink("/tmp/sparse"), OK);
+  return 0;
+}
+
+std::int64_t t_append_mode(ISys& sys) {
+  std::int64_t fd = sys.open("/tmp/app", O_CREAT | O_WRONLY);
+  REQ(fd >= 0);
+  REQ_EQ(wr(sys, fd, "aa"), 2);
+  REQ_EQ(sys.close(fd), OK);
+  fd = sys.open("/tmp/app", O_WRONLY | O_APPEND);
+  REQ(fd >= 0);
+  REQ_EQ(wr(sys, fd, "bb"), 2);
+  REQ_EQ(sys.close(fd), OK);
+  StatResult st{};
+  REQ_EQ(sys.stat("/tmp/app", &st), OK);
+  REQ_EQ(st.size, 4u);
+  REQ_EQ(sys.unlink("/tmp/app"), OK);
+  return 0;
+}
+
+std::int64_t t_trunc_on_open(ISys& sys) {
+  std::int64_t fd = sys.open("/tmp/t", O_CREAT | O_WRONLY);
+  REQ(fd >= 0);
+  REQ_EQ(wr(sys, fd, "longcontent"), 11);
+  REQ_EQ(sys.close(fd), OK);
+  fd = sys.open("/tmp/t", O_WRONLY | O_TRUNC);
+  REQ(fd >= 0);
+  REQ_EQ(sys.close(fd), OK);
+  StatResult st{};
+  REQ_EQ(sys.stat("/tmp/t", &st), OK);
+  REQ_EQ(st.size, 0u);
+  REQ_EQ(sys.unlink("/tmp/t"), OK);
+  return 0;
+}
+
+std::int64_t t_truncate_shrinks(ISys& sys) {
+  const std::int64_t fd = sys.open("/tmp/tr", O_CREAT | O_WRONLY);
+  REQ(fd >= 0);
+  std::string big(5000, 'Q');
+  REQ_EQ(wr(sys, fd, big), 5000);
+  REQ_EQ(sys.close(fd), OK);
+  REQ_EQ(sys.truncate("/tmp/tr", 100), OK);
+  StatResult st{};
+  REQ_EQ(sys.stat("/tmp/tr", &st), OK);
+  REQ_EQ(st.size, 100u);
+  REQ_EQ(sys.unlink("/tmp/tr"), OK);
+  return 0;
+}
+
+std::int64_t t_mkdir_rmdir(ISys& sys) {
+  REQ_EQ(sys.mkdir("/tmp/dir1"), OK);
+  StatResult st{};
+  REQ_EQ(sys.stat("/tmp/dir1", &st), OK);
+  REQ_EQ(st.type, static_cast<std::uint64_t>(fs::FileType::kDirectory));
+  REQ_EQ(sys.rmdir("/tmp/dir1"), OK);
+  REQ_EQ(sys.stat("/tmp/dir1", &st), E_NOENT);
+  return 0;
+}
+
+std::int64_t t_rmdir_nonempty(ISys& sys) {
+  REQ_EQ(sys.mkdir("/tmp/dir2"), OK);
+  const std::int64_t fd = sys.open("/tmp/dir2/f", O_CREAT | O_WRONLY);
+  REQ(fd >= 0);
+  REQ_EQ(sys.close(fd), OK);
+  REQ_EQ(sys.rmdir("/tmp/dir2"), E_NOTEMPTY);
+  REQ_EQ(sys.unlink("/tmp/dir2/f"), OK);
+  REQ_EQ(sys.rmdir("/tmp/dir2"), OK);
+  return 0;
+}
+
+std::int64_t t_nested_dirs(ISys& sys) {
+  REQ_EQ(sys.mkdir("/tmp/n1"), OK);
+  REQ_EQ(sys.mkdir("/tmp/n1/n2"), OK);
+  REQ_EQ(sys.mkdir("/tmp/n1/n2/n3"), OK);
+  const std::int64_t fd = sys.open("/tmp/n1/n2/n3/deep", O_CREAT | O_WRONLY);
+  REQ(fd >= 0);
+  REQ_EQ(wr(sys, fd, "d"), 1);
+  REQ_EQ(sys.close(fd), OK);
+  REQ_EQ(sys.access("/tmp/n1/n2/n3/deep"), OK);
+  REQ_EQ(sys.unlink("/tmp/n1/n2/n3/deep"), OK);
+  REQ_EQ(sys.rmdir("/tmp/n1/n2/n3"), OK);
+  REQ_EQ(sys.rmdir("/tmp/n1/n2"), OK);
+  REQ_EQ(sys.rmdir("/tmp/n1"), OK);
+  return 0;
+}
+
+std::int64_t t_readdir_lists_all(ISys& sys) {
+  REQ_EQ(sys.mkdir("/tmp/ls"), OK);
+  for (const char* name : {"x", "y", "z"}) {
+    const std::int64_t fd =
+        sys.open(std::string("/tmp/ls/") + name, O_CREAT | O_WRONLY);
+    REQ(fd >= 0);
+    REQ_EQ(sys.close(fd), OK);
+  }
+  int seen = 0;
+  for (std::uint64_t i = 0;; ++i) {
+    std::string name;
+    const std::int64_t r = sys.readdir("/tmp/ls", i, &name);
+    if (r == E_NOENT) break;
+    REQ(r > 0);
+    REQ(name == "x" || name == "y" || name == "z");
+    ++seen;
+  }
+  REQ_EQ(seen, 3);
+  for (const char* name : {"x", "y", "z"}) {
+    REQ_EQ(sys.unlink(std::string("/tmp/ls/") + name), OK);
+  }
+  REQ_EQ(sys.rmdir("/tmp/ls"), OK);
+  return 0;
+}
+
+std::int64_t t_rename_within_dir(ISys& sys) {
+  const std::int64_t fd = sys.open("/tmp/old-name", O_CREAT | O_WRONLY);
+  REQ(fd >= 0);
+  REQ_EQ(wr(sys, fd, "data"), 4);
+  REQ_EQ(sys.close(fd), OK);
+  REQ_EQ(sys.rename("/tmp/old-name", "new-name"), OK);
+  REQ_EQ(sys.access("/tmp/old-name"), E_NOENT);
+  StatResult st{};
+  REQ_EQ(sys.stat("/tmp/new-name", &st), OK);
+  REQ_EQ(st.size, 4u);
+  REQ_EQ(sys.unlink("/tmp/new-name"), OK);
+  return 0;
+}
+
+std::int64_t t_unlink_open_semantics(ISys& sys) {
+  // Our VFS keeps the fd usable for reads of already-resolved inodes.
+  const std::int64_t fd = sys.open("/tmp/u", O_CREAT | O_RDWR);
+  REQ(fd >= 0);
+  REQ_EQ(wr(sys, fd, "keep"), 4);
+  REQ_EQ(sys.unlink("/tmp/u"), OK);
+  REQ_EQ(sys.access("/tmp/u"), E_NOENT);
+  REQ_EQ(sys.close(fd), OK);
+  return 0;
+}
+
+std::int64_t t_big_file_indirect_blocks(ISys& sys) {
+  // > 10 KiB forces the singly-indirect block path in MiniFS.
+  const std::int64_t fd = sys.open("/tmp/big", O_CREAT | O_RDWR);
+  REQ(fd >= 0);
+  std::string chunk(1024, '#');
+  for (int i = 0; i < 14; ++i) {
+    chunk[0] = static_cast<char>('A' + i);
+    REQ_EQ(wr(sys, fd, chunk), 1024);
+  }
+  StatResult st{};
+  REQ_EQ(sys.fstat(fd, &st), OK);
+  REQ_EQ(st.size, 14u * 1024u);
+  REQ_EQ(sys.lseek(fd, 13 * 1024, 0), 13 * 1024);
+  char buf[4] = {};
+  REQ_EQ(rd(sys, fd, buf, 1), 1);
+  REQ_EQ(buf[0], 'N');
+  REQ_EQ(sys.close(fd), OK);
+  REQ_EQ(sys.unlink("/tmp/big"), OK);
+  return 0;
+}
+
+std::int64_t t_many_small_files(ISys& sys) {
+  REQ_EQ(sys.mkdir("/tmp/many"), OK);
+  for (int i = 0; i < 20; ++i) {
+    const std::string path = "/tmp/many/f" + std::to_string(i);
+    const std::int64_t fd = sys.open(path, O_CREAT | O_WRONLY);
+    REQ(fd >= 0);
+    REQ_EQ(wr(sys, fd, std::to_string(i)), static_cast<std::int64_t>(std::to_string(i).size()));
+    REQ_EQ(sys.close(fd), OK);
+  }
+  for (int i = 0; i < 20; ++i) {
+    const std::string path = "/tmp/many/f" + std::to_string(i);
+    const std::int64_t fd = sys.open(path, O_RDONLY);
+    REQ(fd >= 0);
+    char buf[8] = {};
+    const std::string want = std::to_string(i);
+    REQ_EQ(rd(sys, fd, buf, sizeof buf), static_cast<std::int64_t>(want.size()));
+    REQ_EQ(std::string(buf), want);
+    REQ_EQ(sys.close(fd), OK);
+    REQ_EQ(sys.unlink(path), OK);
+  }
+  REQ_EQ(sys.rmdir("/tmp/many"), OK);
+  return 0;
+}
+
+std::int64_t t_dup_shares_offset(ISys& sys) {
+  const std::int64_t fd = sys.open("/tmp/dup", O_CREAT | O_RDWR);
+  REQ(fd >= 0);
+  REQ_EQ(wr(sys, fd, "abcdef"), 6);
+  const std::int64_t fd2 = sys.dup(fd);
+  REQ(fd2 >= 0 && fd2 != fd);
+  REQ_EQ(sys.lseek(fd, 0, 0), 0);
+  char buf[4] = {};
+  REQ_EQ(rd(sys, fd2, buf, 2), 2);  // dup shares the offset
+  REQ_EQ(std::string_view(buf, 2), std::string_view("ab"));
+  REQ_EQ(rd(sys, fd, buf, 2), 2);
+  REQ_EQ(std::string_view(buf, 2), std::string_view("cd"));
+  REQ_EQ(sys.close(fd), OK);
+  REQ_EQ(rd(sys, fd2, buf, 2), 2);  // still open through fd2
+  REQ_EQ(sys.close(fd2), OK);
+  REQ_EQ(sys.unlink("/tmp/dup"), OK);
+  return 0;
+}
+
+std::int64_t t_bad_fd_ops(ISys& sys) {
+  char b;
+  REQ_EQ(rd(sys, 13, &b, 1), E_BADF);
+  REQ_EQ(sys.close(13), E_BADF);
+  REQ_EQ(sys.lseek(-1, 0, 0), E_BADF);
+  REQ_EQ(sys.dup(99), E_BADF);
+  return 0;
+}
+
+std::int64_t t_open_dir_for_write(ISys& sys) {
+  REQ_EQ(sys.open("/tmp", O_WRONLY), E_ISDIR);
+  return 0;
+}
+
+std::int64_t t_create_exists(ISys& sys) {
+  REQ_EQ(sys.mkdir("/tmp/dd"), OK);
+  REQ_EQ(sys.mkdir("/tmp/dd"), E_EXIST);
+  REQ_EQ(sys.rmdir("/tmp/dd"), OK);
+  return 0;
+}
+
+std::int64_t t_fd_inherited_on_fork(ISys& sys) {
+  const std::int64_t fd = sys.open("/tmp/inh", O_CREAT | O_RDWR);
+  REQ(fd >= 0);
+  REQ_EQ(wr(sys, fd, "shared"), 6);
+  const std::int64_t pid = sys.fork([fd](ISys& c) {
+    if (c.lseek(fd, 0, 0) != 0) c.exit(1);
+    char buf[8] = {};
+    if (rd(c, fd, buf, 6) != 6) c.exit(2);
+    c.exit(std::string_view(buf, 6) == "shared" ? 0 : 3);
+  });
+  REQ(pid > 0);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  REQ_EQ(s, 0);
+  REQ_EQ(sys.close(fd), OK);
+  REQ_EQ(sys.unlink("/tmp/inh"), OK);
+  return 0;
+}
+
+std::int64_t t_fds_closed_on_exit(ISys& sys) {
+  // A child opening files and exiting must not leak open-file entries:
+  // repeated cycles would otherwise exhaust the table.
+  // 15 rounds x 10 fds would overflow the 128-entry open-file table if
+  // VFS_PM_EXIT leaked entries.
+  for (int round = 0; round < 15; ++round) {
+    const std::int64_t pid = sys.fork([](ISys& c) {
+      for (int i = 0; i < 10; ++i) {
+        if (c.open("/bin/true", O_RDONLY) < 0) c.exit(1);
+      }
+      c.exit(0);  // 10 fds left open on purpose
+    });
+    REQ(pid > 0);
+    std::int64_t s = -1;
+    REQ_EQ(sys.wait_pid(pid, &s), pid);
+    REQ_EQ(s, 0);
+  }
+  return 0;
+}
+
+std::int64_t t_sync(ISys& sys) {
+  const std::int64_t fd = sys.open("/tmp/sy", O_CREAT | O_WRONLY);
+  REQ(fd >= 0);
+  REQ_EQ(wr(sys, fd, "flushed"), 7);
+  REQ_EQ(sys.fsync(), OK);
+  REQ_EQ(sys.close(fd), OK);
+  REQ_EQ(sys.unlink("/tmp/sy"), OK);
+  return 0;
+}
+
+std::int64_t t_cache_pressure(ISys& sys) {
+  // Touch more distinct blocks than the cache holds to force evictions and
+  // disk-blocking reads (worker threads + recovery-window yields).
+  const std::int64_t fd = sys.open("/tmp/press", O_CREAT | O_RDWR);
+  REQ(fd >= 0);
+  std::string chunk(1024, 'P');
+  for (int i = 0; i < 100; ++i) REQ_EQ(wr(sys, fd, chunk), 1024);
+  for (int i = 99; i >= 0; i -= 7) {
+    REQ_EQ(sys.lseek(fd, i * 1024, 0), i * 1024);
+    char b;
+    REQ_EQ(rd(sys, fd, &b, 1), 1);
+    REQ_EQ(b, 'P');
+  }
+  REQ_EQ(sys.close(fd), OK);
+  REQ_EQ(sys.unlink("/tmp/press"), OK);
+  return 0;
+}
+
+std::int64_t t_bin_is_populated(ISys& sys) {
+  REQ_EQ(sys.access("/bin/true"), OK);
+  REQ_EQ(sys.access("/bin/false"), OK);
+  StatResult st{};
+  REQ_EQ(sys.stat("/bin/true", &st), OK);
+  REQ(st.size > 0);
+  return 0;
+}
+
+std::int64_t t_concurrent_file_readers(ISys& sys) {
+  const std::int64_t fd = sys.open("/tmp/conc", O_CREAT | O_WRONLY);
+  REQ(fd >= 0);
+  std::string data(2048, 'C');
+  REQ_EQ(wr(sys, fd, data), 2048);
+  REQ_EQ(sys.close(fd), OK);
+  std::int64_t pids[3];
+  for (auto& pid : pids) {
+    pid = sys.fork([](ISys& c) {
+      const std::int64_t f = c.open("/tmp/conc", O_RDONLY);
+      if (f < 0) c.exit(1);
+      char buf[256];
+      std::int64_t total = 0, n;
+      while ((n = rd(c, f, buf, sizeof buf)) > 0) total += n;
+      c.exit(total == 2048 ? 0 : 2);
+    });
+    REQ(pid > 0);
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::int64_t s = -1;
+    REQ(sys.wait_pid(0, &s) > 0);
+    REQ_EQ(s, 0);
+  }
+  REQ_EQ(sys.unlink("/tmp/conc"), OK);
+  return 0;
+}
+
+}  // namespace
+
+void add_fs_tests(std::vector<SuiteTest>& out) {
+  auto add = [&out](const char* name, std::function<std::int64_t(os::ISys&)> body) {
+    out.push_back(SuiteTest{name, "fs", std::move(body)});
+  };
+  add("create-write-read", t_create_write_read);
+  add("open-missing", t_open_missing);
+  add("stat-matches-writes", t_stat_matches_writes);
+  add("fstat-tracks-pos", t_fstat_tracks_pos);
+  add("lseek-and-sparse", t_lseek_and_sparse);
+  add("append-mode", t_append_mode);
+  add("trunc-on-open", t_trunc_on_open);
+  add("truncate-shrinks", t_truncate_shrinks);
+  add("mkdir-rmdir", t_mkdir_rmdir);
+  add("rmdir-nonempty", t_rmdir_nonempty);
+  add("nested-dirs", t_nested_dirs);
+  add("readdir-lists-all", t_readdir_lists_all);
+  add("rename-within-dir", t_rename_within_dir);
+  add("unlink-open-file", t_unlink_open_semantics);
+  add("big-file-indirect", t_big_file_indirect_blocks);
+  add("many-small-files", t_many_small_files);
+  add("dup-shares-offset", t_dup_shares_offset);
+  add("bad-fd-ops", t_bad_fd_ops);
+  add("open-dir-for-write", t_open_dir_for_write);
+  add("create-exists", t_create_exists);
+  add("fd-inherited-on-fork", t_fd_inherited_on_fork);
+  add("fds-closed-on-exit", t_fds_closed_on_exit);
+  add("sync", t_sync);
+  add("cache-pressure", t_cache_pressure);
+  add("bin-is-populated", t_bin_is_populated);
+  add("concurrent-file-readers", t_concurrent_file_readers);
+}
+
+}  // namespace osiris::workload

@@ -1,0 +1,34 @@
+// Internal helpers shared by the suite_*.cpp test definition files.
+#pragma once
+
+#include <string>
+
+#include "servers/protocol.hpp"
+#include "workload/suite.hpp"
+
+namespace osiris::workload {
+
+void add_proc_tests(std::vector<SuiteTest>& out);
+void add_fs_tests(std::vector<SuiteTest>& out);
+void add_pipe_tests(std::vector<SuiteTest>& out);
+void add_misc_tests(std::vector<SuiteTest>& out);
+
+/// Write/read helpers over the byte-span syscall API.
+inline std::int64_t wr(os::ISys& sys, std::int64_t fd, std::string_view s) {
+  return sys.write(fd, std::as_bytes(std::span<const char>(s.data(), s.size())));
+}
+
+inline std::int64_t rd(os::ISys& sys, std::int64_t fd, char* buf, std::size_t n) {
+  return sys.read(fd, std::as_writable_bytes(std::span<char>(buf, n)));
+}
+
+}  // namespace osiris::workload
+
+/// Test-body assertion: fail the test with the current line number.
+#define REQ(cond)                                  \
+  do {                                             \
+    if (!(cond)) return __LINE__;                  \
+  } while (0)
+
+/// Expect an expression to yield an exact value.
+#define REQ_EQ(expr, want) REQ((expr) == (want))

@@ -1,0 +1,390 @@
+// Process-management and signal tests (PM-heavy): tests 1-28.
+#include "workload/suite_internal.hpp"
+
+namespace osiris::workload {
+
+using os::ISys;
+using namespace osiris::servers;
+using kernel::E_CHILD;
+using kernel::E_INVAL;
+using kernel::E_NOENT;
+using kernel::E_SRCH;
+using kernel::OK;
+
+namespace {
+
+std::int64_t t_getpid_stable(ISys& sys) {
+  const std::int64_t a = sys.getpid();
+  REQ(a > 0);
+  REQ_EQ(sys.getpid(), a);
+  REQ(sys.getppid() >= 0);
+  return 0;
+}
+
+std::int64_t t_fork_returns_child_pid(ISys& sys) {
+  const std::int64_t self = sys.getpid();
+  const std::int64_t pid = sys.fork([](ISys& c) { c.exit(0); });
+  REQ(pid > 0 && pid != self);
+  std::int64_t status = -1;
+  REQ_EQ(sys.wait_pid(pid, &status), pid);
+  REQ_EQ(status, 0);
+  return 0;
+}
+
+std::int64_t t_child_sees_own_pid(ISys& sys) {
+  const std::int64_t parent = sys.getpid();
+  const std::int64_t pid = sys.fork([parent](ISys& c) {
+    c.exit(c.getpid() != parent && c.getppid() == parent ? 0 : 1);
+  });
+  REQ(pid > 0);
+  std::int64_t status = -1;
+  REQ_EQ(sys.wait_pid(pid, &status), pid);
+  REQ_EQ(status, 0);
+  return 0;
+}
+
+std::int64_t t_wait_any(ISys& sys) {
+  std::int64_t p1 = sys.fork([](ISys& c) { c.exit(11); });
+  std::int64_t p2 = sys.fork([](ISys& c) { c.exit(22); });
+  REQ(p1 > 0 && p2 > 0);
+  std::int64_t s1 = -1, s2 = -1;
+  const std::int64_t r1 = sys.wait_pid(0, &s1);
+  const std::int64_t r2 = sys.wait_pid(0, &s2);
+  REQ((r1 == p1 && r2 == p2) || (r1 == p2 && r2 == p1));
+  REQ((s1 == 11 && s2 == 22) || (s1 == 22 && s2 == 11));
+  return 0;
+}
+
+std::int64_t t_wait_specific_pid(ISys& sys) {
+  std::int64_t p1 = sys.fork([](ISys& c) { c.exit(1); });
+  std::int64_t p2 = sys.fork([](ISys& c) { c.exit(2); });
+  REQ(p1 > 0 && p2 > 0);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(p2, &s), p2);
+  REQ_EQ(s, 2);
+  REQ_EQ(sys.wait_pid(p1, &s), p1);
+  REQ_EQ(s, 1);
+  return 0;
+}
+
+std::int64_t t_wait_no_children(ISys& sys) {
+  std::int64_t s = 0;
+  REQ_EQ(sys.wait_pid(0, &s), E_CHILD);
+  return 0;
+}
+
+std::int64_t t_wait_blocks_until_exit(ISys& sys) {
+  // The child does real work before exiting; the parent's wait must block.
+  const std::int64_t pid = sys.fork([](ISys& c) {
+    for (int i = 0; i < 20; ++i) c.getpid();
+    c.exit(5);
+  });
+  REQ(pid > 0);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  REQ_EQ(s, 5);
+  return 0;
+}
+
+std::int64_t t_exit_status_range(ISys& sys) {
+  for (std::int64_t code : {0, 1, 77, 255}) {
+    const std::int64_t pid = sys.fork([code](ISys& c) { c.exit(code); });
+    REQ(pid > 0);
+    std::int64_t s = -1;
+    REQ_EQ(sys.wait_pid(pid, &s), pid);
+    REQ_EQ(s, code);
+  }
+  return 0;
+}
+
+std::int64_t t_nested_fork(ISys& sys) {
+  const std::int64_t pid = sys.fork([](ISys& c) {
+    const std::int64_t gpid = c.fork([](ISys& g) { g.exit(3); });
+    if (gpid <= 0) c.exit(1);
+    std::int64_t gs = -1;
+    if (c.wait_pid(gpid, &gs) != gpid || gs != 3) c.exit(2);
+    c.exit(0);
+  });
+  REQ(pid > 0);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  REQ_EQ(s, 0);
+  return 0;
+}
+
+std::int64_t t_orphan_reparented(ISys& sys) {
+  // Child forks a grandchild and exits immediately; the grandchild is
+  // reparented to init and must not wedge anything.
+  const std::int64_t pid = sys.fork([](ISys& c) {
+    c.fork([](ISys& g) { g.exit(0); });
+    c.exit(0);
+  });
+  REQ(pid > 0);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  REQ_EQ(s, 0);
+  return 0;
+}
+
+std::int64_t t_fork_many(ISys& sys) {
+  constexpr int kKids = 8;
+  std::int64_t pids[kKids];
+  for (int i = 0; i < kKids; ++i) {
+    pids[i] = sys.fork([i](ISys& c) { c.exit(i); });
+    REQ(pids[i] > 0);
+  }
+  std::int64_t seen_mask = 0;
+  for (int i = 0; i < kKids; ++i) {
+    std::int64_t s = -1;
+    const std::int64_t got = sys.wait_pid(0, &s);
+    REQ(got > 0 && s >= 0 && s < kKids);
+    seen_mask |= 1LL << s;
+  }
+  REQ_EQ(seen_mask, (1LL << kKids) - 1);
+  return 0;
+}
+
+std::int64_t t_exec_basic(ISys& sys) {
+  const std::int64_t pid = sys.fork([](ISys& c) {
+    c.exec("/bin/true");
+    c.exit(99);  // unreachable on success
+  });
+  REQ(pid > 0);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  REQ_EQ(s, 0);
+  return 0;
+}
+
+std::int64_t t_exec_status(ISys& sys) {
+  const std::int64_t pid = sys.fork([](ISys& c) {
+    c.exec("/bin/false");
+    c.exit(99);
+  });
+  REQ(pid > 0);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  REQ_EQ(s, 1);
+  return 0;
+}
+
+std::int64_t t_exec_missing_binary(ISys& sys) {
+  REQ_EQ(sys.exec("/bin/definitely-not-here"), E_NOENT);
+  // Still alive and functional afterwards.
+  REQ(sys.getpid() > 0);
+  return 0;
+}
+
+std::int64_t t_exec_keeps_pid(ISys& sys) {
+  const std::int64_t pid = sys.fork([](ISys& c) {
+    const std::int64_t before = c.getpid();
+    // /bin/pidcheck exits 0 iff its pid equals the value in the DS.
+    c.ds_publish("test.pid", static_cast<std::uint64_t>(before));
+    c.exec("/bin/pidcheck");
+    c.exit(99);
+  });
+  REQ(pid > 0);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  REQ_EQ(s, 0);
+  return 0;
+}
+
+std::int64_t t_procstat(ISys& sys) {
+  REQ_EQ(sys.procstat(sys.getpid()), 1);  // running
+  REQ_EQ(sys.procstat(54321), E_SRCH);
+  return 0;
+}
+
+std::int64_t t_uid_roundtrip(ISys& sys) {
+  const std::int64_t pid = sys.fork([](ISys& c) {
+    if (c.getuid() != 0) c.exit(1);
+    if (c.setuid(1000) != OK) c.exit(2);
+    c.exit(c.getuid() == 1000 ? 0 : 3);
+  });
+  REQ(pid > 0);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  REQ_EQ(s, 0);
+  // The parent's uid is unaffected by the child's setuid.
+  REQ_EQ(sys.getuid(), 0);
+  return 0;
+}
+
+std::int64_t t_brk_grow_shrink(ISys& sys) {
+  const std::int64_t pid = sys.fork([](ISys& c) {
+    if (c.brk(0x10000 + 8 * 4096) < 0) c.exit(1);
+    if (c.brk(0x10000 + 2 * 4096) < 0) c.exit(2);
+    if (c.brk(0x1000) != E_INVAL) c.exit(3);  // below the floor
+    c.exit(0);
+  });
+  REQ(pid > 0);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  REQ_EQ(s, 0);
+  return 0;
+}
+
+std::int64_t t_times_monotonic(ISys& sys) {
+  std::uint64_t t1 = 0, t2 = 0;
+  REQ_EQ(sys.times(&t1), OK);
+  for (int i = 0; i < 5; ++i) sys.getpid();
+  REQ_EQ(sys.times(&t2), OK);
+  REQ(t2 >= t1);
+  return 0;
+}
+
+std::int64_t t_uname(ISys& sys) {
+  std::string name;
+  REQ_EQ(sys.uname(&name), OK);
+  REQ_EQ(name, std::string("osiris"));
+  return 0;
+}
+
+// --- signals ---------------------------------------------------------
+
+std::int64_t t_kill_bad_args(ISys& sys) {
+  REQ_EQ(sys.kill(sys.getpid(), 0), E_INVAL);
+  REQ_EQ(sys.kill(sys.getpid(), 64), E_INVAL);
+  REQ_EQ(sys.kill(99999, kSigTerm), E_SRCH);
+  return 0;
+}
+
+std::int64_t t_sigkill_child(ISys& sys) {
+  const std::int64_t pid = sys.fork([](ISys& c) {
+    for (;;) c.getpid();  // spin until killed
+  });
+  REQ(pid > 0);
+  REQ_EQ(sys.kill(pid, kSigKill), OK);
+  std::int64_t s = 0;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  REQ_EQ(s, -9);
+  return 0;
+}
+
+std::int64_t t_signal_pending(ISys& sys) {
+  const std::int64_t pid = sys.fork([](ISys& c) {
+    // Wait until the TERM signal shows up in the pending set.
+    for (int i = 0; i < 10000; ++i) {
+      std::uint64_t mask = 0;
+      if (c.sigpending(&mask) != OK) c.exit(1);
+      if ((mask & (1ULL << kSigTerm)) != 0) c.exit(0);
+    }
+    c.exit(2);
+  });
+  REQ(pid > 0);
+  REQ_EQ(sys.kill(pid, kSigTerm), OK);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  REQ_EQ(s, 0);
+  return 0;
+}
+
+std::int64_t t_sigaction_install_reset(ISys& sys) {
+  REQ_EQ(sys.sigaction(kSigUsr1, true), OK);
+  REQ_EQ(sys.sigaction(kSigUsr1, false), OK);
+  REQ_EQ(sys.sigaction(kSigKill, true), E_INVAL);
+  REQ_EQ(sys.sigaction(0, true), E_INVAL);
+  return 0;
+}
+
+std::int64_t t_sigchld_pending_on_exit(ISys& sys) {
+  const std::int64_t pid = sys.fork([](ISys& c) {
+    if (c.sigaction(kSigChld, true) != OK) c.exit(1);
+    const std::int64_t g = c.fork([](ISys& gc) { gc.exit(0); });
+    if (g <= 0) c.exit(2);
+    // Busy-wait for SIGCHLD to be posted.
+    for (int i = 0; i < 10000; ++i) {
+      std::uint64_t mask = 0;
+      if (c.sigpending(&mask) != OK) c.exit(3);
+      if ((mask & (1ULL << kSigChld)) != 0) {
+        std::int64_t gs = -1;
+        c.exit(c.wait_pid(g, &gs) == g ? 0 : 4);
+      }
+    }
+    c.exit(5);
+  });
+  REQ(pid > 0);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  REQ_EQ(s, 0);
+  return 0;
+}
+
+std::int64_t t_kill_self_nonfatal(ISys& sys) {
+  const std::int64_t pid = sys.fork([](ISys& c) {
+    if (c.kill(c.getpid(), kSigUsr2) != OK) c.exit(1);
+    std::uint64_t mask = 0;
+    if (c.sigpending(&mask) != OK) c.exit(2);
+    c.exit((mask & (1ULL << kSigUsr2)) != 0 ? 0 : 3);
+  });
+  REQ(pid > 0);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  REQ_EQ(s, 0);
+  return 0;
+}
+
+std::int64_t t_kill_zombie_is_error(ISys& sys) {
+  const std::int64_t pid = sys.fork([](ISys& c) { c.exit(0); });
+  REQ(pid > 0);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  // The pid is fully reaped now: signalling it must fail.
+  REQ_EQ(sys.kill(pid, kSigTerm), E_SRCH);
+  return 0;
+}
+
+std::int64_t t_sigterm_kills_parents_view(ISys& sys) {
+  // TERM with no handler stays pending in our model (no default-kill);
+  // verify the process remains runnable.
+  const std::int64_t pid = sys.fork([](ISys& c) {
+    for (int i = 0; i < 50; ++i) c.getpid();
+    c.exit(0);
+  });
+  REQ(pid > 0);
+  sys.kill(pid, kSigTerm);
+  std::int64_t s = -1;
+  REQ_EQ(sys.wait_pid(pid, &s), pid);
+  REQ_EQ(s, 0);
+  return 0;
+}
+
+}  // namespace
+
+void add_proc_tests(std::vector<SuiteTest>& out) {
+  auto add = [&out](const char* name, const char* group,
+                    std::function<std::int64_t(ISys&)> body) {
+    out.push_back(SuiteTest{name, group, std::move(body)});
+  };
+  add("getpid-stable", "proc", t_getpid_stable);
+  add("fork-returns-child-pid", "proc", t_fork_returns_child_pid);
+  add("child-sees-own-pid", "proc", t_child_sees_own_pid);
+  add("wait-any", "proc", t_wait_any);
+  add("wait-specific-pid", "proc", t_wait_specific_pid);
+  add("wait-no-children", "proc", t_wait_no_children);
+  add("wait-blocks-until-exit", "proc", t_wait_blocks_until_exit);
+  add("exit-status-range", "proc", t_exit_status_range);
+  add("nested-fork", "proc", t_nested_fork);
+  add("orphan-reparented", "proc", t_orphan_reparented);
+  add("fork-many", "proc", t_fork_many);
+  add("exec-basic", "proc", t_exec_basic);
+  add("exec-status", "proc", t_exec_status);
+  add("exec-missing-binary", "proc", t_exec_missing_binary);
+  add("exec-keeps-pid", "proc", t_exec_keeps_pid);
+  add("procstat", "proc", t_procstat);
+  add("uid-roundtrip", "proc", t_uid_roundtrip);
+  add("brk-grow-shrink", "proc", t_brk_grow_shrink);
+  add("times-monotonic", "proc", t_times_monotonic);
+  add("uname", "proc", t_uname);
+  add("kill-bad-args", "signal", t_kill_bad_args);
+  add("sigkill-child", "signal", t_sigkill_child);
+  add("signal-pending", "signal", t_signal_pending);
+  add("sigaction-install-reset", "signal", t_sigaction_install_reset);
+  add("sigchld-pending-on-exit", "signal", t_sigchld_pending_on_exit);
+  add("kill-self-nonfatal", "signal", t_kill_self_nonfatal);
+  add("kill-zombie-is-error", "signal", t_kill_zombie_is_error);
+  add("sigterm-stays-pending", "signal", t_sigterm_kills_parents_view);
+}
+
+}  // namespace osiris::workload

@@ -1,0 +1,58 @@
+// Unixbench-equivalent workloads (paper SVI-C, Tables IV/V, Figure 3).
+//
+// Twelve workloads carrying the paper's names and exercising the same
+// subsystems: pure computation (dhry2reg, whetstone-double), process
+// creation (execl, spawn), filesystem throughput at three buffer sizes
+// (fstime, fsbuffer, fsdisk), IPC (pipe, context1), raw syscall dispatch
+// (syscall) and shell script execution at two concurrency levels (shell1,
+// shell8). Every workload is written against ISys, so it runs identically
+// on the OSIRIS multiserver system and on the monolithic baseline.
+//
+// Scores are iterations per wall-clock second (higher is better), the same
+// shape as unixbench's index values.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "os/config.hpp"
+#include "os/isys.hpp"
+#include "os/programs.hpp"
+
+namespace osiris::workload {
+
+struct UbWorkload {
+  std::string name;
+  std::uint64_t default_iters;
+  std::function<void(os::ISys&, std::uint64_t)> body;
+};
+
+const std::vector<UbWorkload>& ub_workloads();
+const UbWorkload& ub_workload(std::string_view name);
+
+/// Work units actually completed by the most recent workload run (failed
+/// units — e.g. forks that never succeeded under fault influx — do not
+/// count). Reset by run_ub_microkernel / run_ub_mono.
+std::uint64_t ub_last_completed();
+
+/// Reset the completed-work counter (custom harnesses like fig3).
+void ub_reset_completed();
+
+/// Register the programs the shell workloads exec.
+void register_ub_programs(os::ProgramRegistry& registry);
+
+/// Run one workload on a fresh OSIRIS instance; returns the wall-clock
+/// seconds spent inside the machine (boot excluded).
+double run_ub_microkernel(const os::OsConfig& cfg, const UbWorkload& w, std::uint64_t iters);
+
+/// Same workload on the monolithic baseline.
+double run_ub_mono(const UbWorkload& w, std::uint64_t iters);
+
+/// iterations/second score.
+inline double ub_score(std::uint64_t iters, double seconds) {
+  return seconds > 0 ? static_cast<double>(iters) / seconds : 0.0;
+}
+
+}  // namespace osiris::workload

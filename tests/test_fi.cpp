@@ -1,0 +1,149 @@
+// Unit tests: fault-injection registry, probes, fault realization, and the
+// Figure 3 periodic in-window injector.
+#include <gtest/gtest.h>
+
+#include "fi/registry.hpp"
+
+using namespace osiris;
+
+namespace {
+
+/// The registry is process-global; tests snapshot/disarm around themselves.
+struct FiFixture : ::testing::Test {
+  void SetUp() override {
+    fi::Registry::instance().disarm();
+    fi::Registry::instance().reset_counts();
+  }
+  void TearDown() override { fi::Registry::instance().disarm(); }
+};
+
+// Local probe helpers with stable identities for this test file.
+fi::Site* block_site() {
+  static fi::Site site(__FILE__, __LINE__, "test", fi::SiteKind::kBlock);
+  return &site;
+}
+fi::Site* value_site() {
+  static fi::Site site(__FILE__, __LINE__, "test", fi::SiteKind::kValue);
+  return &site;
+}
+fi::Site* branch_site() {
+  static fi::Site site(__FILE__, __LINE__, "test", fi::SiteKind::kBranch);
+  return &site;
+}
+
+}  // namespace
+
+TEST_F(FiFixture, SitesRegisterWithUniqueIds) {
+  EXPECT_NE(block_site()->id, value_site()->id);
+  EXPECT_NE(value_site()->id, branch_site()->id);
+}
+
+TEST_F(FiFixture, Applicability) {
+  EXPECT_TRUE(fi::applicable(fi::SiteKind::kBlock, fi::FaultType::kNullDeref));
+  EXPECT_TRUE(fi::applicable(fi::SiteKind::kBlock, fi::FaultType::kHang));
+  EXPECT_FALSE(fi::applicable(fi::SiteKind::kBlock, fi::FaultType::kCorruptValue));
+  EXPECT_TRUE(fi::applicable(fi::SiteKind::kValue, fi::FaultType::kOffByOne));
+  EXPECT_FALSE(fi::applicable(fi::SiteKind::kValue, fi::FaultType::kBranchFlip));
+  EXPECT_TRUE(fi::applicable(fi::SiteKind::kBranch, fi::FaultType::kBranchFlip));
+}
+
+TEST_F(FiFixture, HitsCountAndReset) {
+  fi::block_probe(block_site());
+  fi::block_probe(block_site());
+  EXPECT_EQ(block_site()->hits, 2u);
+  fi::Registry::instance().reset_counts();
+  EXPECT_EQ(block_site()->hits, 0u);
+}
+
+TEST_F(FiFixture, BootHitsAreSeparated) {
+  fi::block_probe(block_site());
+  fi::Registry::instance().mark_boot_complete();
+  EXPECT_EQ(block_site()->boot_hits, 1u);
+  EXPECT_EQ(block_site()->hits, 0u);
+}
+
+TEST_F(FiFixture, NullDerefFiresExactlyAtTriggerHit) {
+  fi::Registry::instance().arm(block_site(), fi::FaultType::kNullDeref, 3);
+  EXPECT_NO_THROW(fi::block_probe(block_site()));
+  EXPECT_NO_THROW(fi::block_probe(block_site()));
+  EXPECT_THROW(fi::block_probe(block_site()), kernel::FailStopFault);
+  // Once fired, the fault does not re-fire.
+  EXPECT_NO_THROW(fi::block_probe(block_site()));
+}
+
+TEST_F(FiFixture, UnarmedSitesNeverFire) {
+  fi::Registry::instance().arm(block_site(), fi::FaultType::kNullDeref, 1);
+  EXPECT_EQ(fi::value_probe(value_site(), 17), 17);
+  EXPECT_TRUE(fi::branch_probe(branch_site(), true));
+}
+
+TEST_F(FiFixture, CorruptValueFlipsBits) {
+  fi::Registry::instance().arm(value_site(), fi::FaultType::kCorruptValue, 1);
+  const std::int64_t corrupted = fi::value_probe(value_site(), 100);
+  EXPECT_NE(corrupted, 100);
+  // Subsequent executions are clean again.
+  EXPECT_EQ(fi::value_probe(value_site(), 100), 100);
+}
+
+TEST_F(FiFixture, OffByOneAddsOne) {
+  fi::Registry::instance().arm(value_site(), fi::FaultType::kOffByOne, 2);
+  EXPECT_EQ(fi::value_probe(value_site(), 10), 10);
+  EXPECT_EQ(fi::value_probe(value_site(), 10), 11);
+}
+
+TEST_F(FiFixture, BranchFlipInverts) {
+  fi::Registry::instance().arm(branch_site(), fi::FaultType::kBranchFlip, 1);
+  EXPECT_FALSE(fi::branch_probe(branch_site(), true));
+  EXPECT_TRUE(fi::branch_probe(branch_site(), true));
+}
+
+TEST_F(FiFixture, HangThrowsHangSuspend) {
+  fi::Registry::instance().arm(block_site(), fi::FaultType::kHang, 1);
+  EXPECT_THROW(fi::block_probe(block_site()), kernel::HangSuspend);
+}
+
+TEST_F(FiFixture, DelayedCrashIsSilentThenFatal) {
+  fi::Registry::instance().arm(block_site(), fi::FaultType::kDelayedCrash, 1, /*delay=*/2);
+  EXPECT_NO_THROW(fi::block_probe(block_site()));  // silent damage at hit 1
+  EXPECT_NO_THROW(fi::block_probe(block_site()));  // hit 2
+  EXPECT_THROW(fi::block_probe(block_site()), kernel::FailStopFault);  // hit 3 = 1+2
+}
+
+TEST_F(FiFixture, DisarmStopsEverything) {
+  fi::Registry::instance().arm(block_site(), fi::FaultType::kNullDeref, 1);
+  fi::Registry::instance().disarm();
+  EXPECT_NO_THROW(fi::block_probe(block_site()));
+  EXPECT_FALSE(fi::Registry::instance().armed());
+}
+
+TEST_F(FiFixture, PeriodicWindowCrashOnlyFiresInsideOpenWindow) {
+  ckpt::Context ctx(ckpt::Mode::kWindowOnly);
+  seep::Window window(seep::Policy::kEnhanced, ctx);
+  fi::Registry::instance().set_active({&window, 2});
+  fi::Registry::instance().arm_periodic_window_crash(block_site(), 2);
+  const std::uint64_t fired_before = fi::Registry::instance().injections_fired();
+
+  // Window closed: hits accumulate but nothing fires.
+  for (int i = 0; i < 5; ++i) EXPECT_NO_THROW(fi::block_probe(block_site()));
+
+  window.open();
+  EXPECT_THROW(fi::block_probe(block_site()), kernel::FailStopFault);
+  // Interval respected: the very next hit is too early.
+  EXPECT_NO_THROW(fi::block_probe(block_site()));
+  EXPECT_THROW(fi::block_probe(block_site()), kernel::FailStopFault);
+  EXPECT_EQ(fi::Registry::instance().injections_fired(), fired_before + 2);
+  fi::Registry::instance().set_active({nullptr, -1});
+}
+
+TEST_F(FiFixture, ProbesFeedWindowCoverage) {
+  ckpt::Context ctx(ckpt::Mode::kWindowOnly);
+  seep::Window window(seep::Policy::kEnhanced, ctx);
+  fi::Registry::instance().set_active({&window, 2});
+  window.open();
+  fi::block_probe(block_site());
+  window.end_of_request();
+  fi::block_probe(block_site());
+  EXPECT_EQ(window.stats().probe_hits_inside, 1u);
+  EXPECT_EQ(window.stats().probe_hits_outside, 1u);
+  fi::Registry::instance().set_active({nullptr, -1});
+}

@@ -1,0 +1,283 @@
+// Property-based tests (parameterized over seeds):
+//
+//  1. Differential equivalence — a seeded random syscall scenario produces
+//     the *same observable trace* on the OSIRIS multiserver system and on
+//     the monolithic baseline. This pins the semantics of every syscall the
+//     unixbench comparison (Table IV) relies on.
+//
+//  2. Recovery transparency — for a seeded choice of fault site, if an
+//     enhanced-policy run completes after an in-window recovery, the
+//     machine's resource accounting is intact: no leaked VM frames, no
+//     leaked process slots, no leaked open files.
+//
+//  3. Rollback soundness — random mutation sequences against an
+//     instrumented state struct always roll back to the checkpoint image.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "ckpt/cell.hpp"
+#include "fi/registry.hpp"
+#include "os/instance.hpp"
+#include "os/mono.hpp"
+#include "support/rng.hpp"
+#include "workload/suite.hpp"
+
+using namespace osiris;
+using os::ISys;
+
+namespace {
+
+/// A deterministic random scenario: a mix of fs, pipe, process, ds and vm
+/// syscalls driven by a seed; every observable result is appended to a trace.
+void random_scenario(ISys& sys, std::uint64_t seed, std::string* trace) {
+  Rng rng(seed);
+  auto note = [trace](const std::string& s) { *trace += s + ";"; };
+
+  std::vector<std::int64_t> fds;
+  std::vector<std::int64_t> regions;
+  for (int step = 0; step < 60; ++step) {
+    switch (rng.below(10)) {
+      case 0: {  // open/create
+        const std::string path = "/tmp/p" + std::to_string(rng.below(4));
+        const std::int64_t fd = sys.open(path, servers::O_CREAT | servers::O_RDWR);
+        note("open=" + std::to_string(fd >= 0 ? 0 : fd));
+        if (fd >= 0) fds.push_back(fd);
+        break;
+      }
+      case 1: {  // write
+        if (fds.empty()) break;
+        const std::string data(1 + rng.below(64), 'w');
+        const std::int64_t n = sys.write_str(fds[rng.below(fds.size())], data);
+        note("write=" + std::to_string(n));
+        break;
+      }
+      case 2: {  // read
+        if (fds.empty()) break;
+        char buf[64];
+        const std::int64_t fd = fds[rng.below(fds.size())];
+        sys.lseek(fd, 0, 0);
+        const std::int64_t n =
+            sys.read(fd, std::as_writable_bytes(std::span<char>(buf, sizeof buf)));
+        note("read=" + std::to_string(n));
+        break;
+      }
+      case 3: {  // close
+        if (fds.empty()) break;
+        const std::size_t i = rng.below(fds.size());
+        note("close=" + std::to_string(sys.close(fds[i])));
+        fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      case 4: {  // fork/exit/wait
+        const std::int64_t code = static_cast<std::int64_t>(rng.below(100));
+        const std::int64_t pid = sys.fork([code](ISys& c) { c.exit(code); });
+        std::int64_t status = -1;
+        const std::int64_t got = sys.wait_pid(pid > 0 ? pid : 0, &status);
+        note("spawn=" + std::to_string(pid > 0 && got == pid ? status : -1));
+        break;
+      }
+      case 5: {  // ds round trip
+        const std::string key = "k" + std::to_string(rng.below(8));
+        const std::uint64_t v = rng.next() % 1000;
+        sys.ds_publish(key, v);
+        std::uint64_t back = 0;
+        sys.ds_retrieve(key, &back);
+        note("ds=" + std::to_string(back == v));
+        break;
+      }
+      case 6: {  // stat
+        os::StatResult st{};
+        const std::int64_t r = sys.stat("/tmp/p0", &st);
+        note("stat=" + std::to_string(r == kernel::OK ? static_cast<std::int64_t>(st.size) : r));
+        break;
+      }
+      case 7: {  // pipe ping
+        std::int64_t p[2];
+        if (sys.pipe(p) != kernel::OK) break;
+        sys.write_str(p[1], "x");
+        char b = 0;
+        sys.read(p[0], std::as_writable_bytes(std::span<char>(&b, 1)));
+        sys.close(p[0]);
+        sys.close(p[1]);
+        note(std::string("pipe=") + b);
+        break;
+      }
+      case 8: {  // unlink
+        const std::string path = "/tmp/p" + std::to_string(rng.below(4));
+        note("unlink=" + std::to_string(sys.unlink(path)));
+        break;
+      }
+      case 9: {  // getpid/uid sanity
+        note("pid=" + std::to_string(sys.getpid() > 0));
+        break;
+      }
+    }
+  }
+  for (std::int64_t fd : fds) sys.close(fd);
+}
+
+class DifferentialP : public ::testing::TestWithParam<std::uint64_t> {};
+
+}  // namespace
+
+TEST_P(DifferentialP, MicrokernelAndMonoProduceSameTrace) {
+  const std::uint64_t seed = GetParam();
+
+  std::string micro_trace;
+  {
+    fi::Registry::instance().disarm();
+    os::OsConfig cfg;
+    os::OsInstance inst(cfg);
+    workload::register_suite_programs(inst.programs());
+    inst.boot();
+    const auto outcome =
+        inst.run([&](ISys& sys) { random_scenario(sys, seed, &micro_trace); });
+    ASSERT_EQ(outcome, os::OsInstance::Outcome::kCompleted);
+  }
+
+  std::string mono_trace;
+  {
+    os::MonoOs mono;
+    workload::register_suite_programs(mono.programs());
+    mono.boot();
+    mono.run([&](ISys& sys) {
+      random_scenario(sys, seed, &mono_trace);
+      sys.exit(0);
+    });
+  }
+
+  EXPECT_EQ(micro_trace, mono_trace) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialP,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233));
+
+// --- recovery transparency -----------------------------------------------
+
+namespace {
+class RecoveryTransparencyP : public ::testing::TestWithParam<std::uint64_t> {};
+}  // namespace
+
+TEST_P(RecoveryTransparencyP, CompletedRunsLeaveAccountingIntact) {
+  const std::uint64_t seed = GetParam();
+
+  // Profile once to learn the triggered sites of this scenario.
+  fi::Registry::instance().disarm();
+  fi::Registry::instance().reset_counts();
+  std::uint64_t baseline_free = 0;
+  {
+    os::OsConfig cfg;
+    os::OsInstance inst(cfg);
+    workload::register_suite_programs(inst.programs());
+    inst.boot();
+    std::string trace;
+    inst.run([&](ISys& sys) {
+      random_scenario(sys, seed, &trace);
+      sys.getmeminfo(&baseline_free, nullptr);
+    });
+  }
+  std::vector<fi::Site*> candidates;
+  for (fi::Site* s : fi::Registry::instance().sites()) {
+    if (s->hits > 0) candidates.push_back(s);
+  }
+  ASSERT_FALSE(candidates.empty());
+
+  // Inject a fail-stop fault at a seeded site/hit and rerun.
+  Rng rng(seed * 7919);
+  fi::Site* site = candidates[rng.below(candidates.size())];
+  const std::uint64_t trigger = rng.range(1, site->hits);
+  fi::Registry::instance().reset_counts();
+
+  os::OsConfig cfg;
+  cfg.policy = seep::Policy::kEnhanced;
+  os::OsInstance inst(cfg);
+  workload::register_suite_programs(inst.programs());
+  inst.boot();
+  fi::Registry::instance().arm(site, fi::FaultType::kNullDeref, trigger);
+  std::string trace;
+  std::uint64_t free_after = 0;
+  const auto outcome = inst.run([&](ISys& sys) {
+    random_scenario(sys, seed, &trace);
+    sys.getmeminfo(&free_after, nullptr);
+  });
+  fi::Registry::instance().disarm();
+
+  if (outcome != os::OsInstance::Outcome::kCompleted) {
+    // Shutdown is a legitimate consistent outcome; nothing more to check.
+    EXPECT_EQ(outcome, os::OsInstance::Outcome::kShutdown) << "site " << site->tag << ":"
+                                                           << site->line;
+    return;
+  }
+  // The run completed (recovery was transparent or error-virtualized):
+  // resource accounting must be exactly as in the fault-free run.
+  if (free_after != 0) {  // 0 = the meminfo call itself was the failed op
+    EXPECT_EQ(free_after, baseline_free)
+        << "VM frames leaked after recovery at " << site->tag << ":" << site->line;
+  }
+  // All children were reaped: only init remains.
+  EXPECT_EQ(inst.pm().pid_of_endpoint(kernel::Endpoint{-1}), -1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryTransparencyP,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// --- rollback soundness -----------------------------------------------------
+
+namespace {
+
+struct PropState {
+  ckpt::Cell<std::uint64_t> scalars[4];
+  ckpt::Array<std::uint32_t, 32> words;
+  ckpt::Table<std::uint64_t, 8> slots;
+  ckpt::Str<24> label;
+};
+
+class RollbackP : public ::testing::TestWithParam<std::uint64_t> {};
+
+}  // namespace
+
+TEST_P(RollbackP, RandomMutationsAlwaysRollBack) {
+  Rng rng(GetParam());
+  ckpt::Context ctx(ckpt::Mode::kAlways);
+  ckpt::Context::Scope scope(&ctx);
+  PropState state{};
+
+  // Build an arbitrary committed state first.
+  for (int i = 0; i < 20; ++i) {
+    state.scalars[rng.below(4)] = rng.next();
+    state.words.set(rng.below(32), static_cast<std::uint32_t>(rng.next()));
+    if (rng.chance(1, 2)) state.slots.alloc();
+  }
+  ctx.log().checkpoint();  // top of the loop
+
+  PropState snapshot{};
+  std::memcpy(&snapshot, &state, sizeof state);
+
+  // Random mutation storm (the "request processing" that will crash).
+  for (int i = 0; i < 50; ++i) {
+    switch (rng.below(5)) {
+      case 0: state.scalars[rng.below(4)] += rng.below(100); break;
+      case 1: state.words.set(rng.below(32), static_cast<std::uint32_t>(rng.next())); break;
+      case 2: {
+        const std::size_t s = state.slots.alloc();
+        if (s != decltype(state.slots)::npos) state.slots.mutate(s) = rng.next();
+        break;
+      }
+      case 3: {
+        const std::size_t s =
+            state.slots.find([](const std::uint64_t&) { return true; });
+        if (s != decltype(state.slots)::npos) state.slots.free(s);
+        break;
+      }
+      case 4: state.label = std::to_string(rng.next()); break;
+    }
+  }
+
+  ctx.log().rollback();
+  EXPECT_EQ(std::memcmp(&snapshot, &state, sizeof state), 0)
+      << "rollback failed to restore the checkpoint image";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RollbackP,
+                         ::testing::Range<std::uint64_t>(1000, 1030));

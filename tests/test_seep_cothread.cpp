@@ -1,0 +1,205 @@
+// Unit tests: SEEP classification/policies/window state machine, and the
+// cooperative thread library.
+#include <gtest/gtest.h>
+
+#include "cothread/fiber.hpp"
+#include "seep/policy.hpp"
+#include "seep/seep.hpp"
+#include "seep/window.hpp"
+#include "servers/protocol.hpp"
+
+using namespace osiris;
+
+// --- classification ---------------------------------------------------
+
+TEST(Classification, UnknownTypesGetConservativeDefault) {
+  seep::Classification c;
+  const auto t = c.get(0xdeadbeef);
+  EXPECT_EQ(t.seep, seep::SeepClass::kStateModifying);
+  EXPECT_TRUE(t.replyable);
+}
+
+TEST(Classification, SetAndGet) {
+  seep::Classification c;
+  c.set(0x42, seep::SeepClass::kNonStateModifying, false);
+  EXPECT_EQ(c.get(0x42).seep, seep::SeepClass::kNonStateModifying);
+  EXPECT_FALSE(c.get(0x42).replyable);
+}
+
+TEST(Classification, SystemTableCoversKeyMessages) {
+  const seep::Classification c = servers::build_classification();
+  EXPECT_GT(c.size(), 40u);
+  // The classifications Table I's shape depends on:
+  EXPECT_EQ(c.get(servers::DS_NOTIFY_SUB).seep, seep::SeepClass::kNonStateModifying);
+  EXPECT_EQ(c.get(servers::VFS_PM_EXEC).seep, seep::SeepClass::kNonStateModifying);
+  EXPECT_EQ(c.get(servers::VM_INFO).seep, seep::SeepClass::kNonStateModifying);
+  EXPECT_EQ(c.get(servers::RS_PING).seep, seep::SeepClass::kStateModifying);
+  EXPECT_EQ(c.get(servers::VM_FORK_AS).seep, seep::SeepClass::kStateModifying);
+  EXPECT_FALSE(c.get(servers::PM_SIG_NOTIFY).replyable);
+}
+
+// --- policies ----------------------------------------------------------
+
+TEST(Policy, WindowUsage) {
+  EXPECT_FALSE(seep::policy_uses_windows(seep::Policy::kStateless));
+  EXPECT_FALSE(seep::policy_uses_windows(seep::Policy::kNaive));
+  EXPECT_TRUE(seep::policy_uses_windows(seep::Policy::kPessimistic));
+  EXPECT_TRUE(seep::policy_uses_windows(seep::Policy::kEnhanced));
+}
+
+TEST(Policy, CloseRules) {
+  using seep::Policy;
+  using seep::SeepClass;
+  EXPECT_TRUE(seep::policy_closes_window(Policy::kPessimistic, SeepClass::kNonStateModifying));
+  EXPECT_TRUE(seep::policy_closes_window(Policy::kPessimistic, SeepClass::kStateModifying));
+  EXPECT_FALSE(seep::policy_closes_window(Policy::kEnhanced, SeepClass::kNonStateModifying));
+  EXPECT_TRUE(seep::policy_closes_window(Policy::kEnhanced, SeepClass::kStateModifying));
+  EXPECT_FALSE(seep::policy_closes_window(Policy::kStateless, SeepClass::kStateModifying));
+}
+
+// --- window state machine -----------------------------------------------
+
+namespace {
+struct WindowFixture : ::testing::Test {
+  ckpt::Context ctx{ckpt::Mode::kWindowOnly};
+};
+}  // namespace
+
+TEST_F(WindowFixture, OpenTakesCheckpointAndEnablesLogging) {
+  seep::Window w(seep::Policy::kEnhanced, ctx);
+  int v = 0;
+  ctx.log().record(&v, sizeof v);  // stale entry from "last request"
+  w.open();
+  EXPECT_TRUE(w.is_open());
+  EXPECT_TRUE(ctx.window_open());
+  EXPECT_TRUE(ctx.log().empty());  // checkpoint = log reset
+}
+
+TEST_F(WindowFixture, EnhancedSurvivesNonStateModifyingSeep) {
+  seep::Window w(seep::Policy::kEnhanced, ctx);
+  w.open();
+  w.on_outbound(seep::SeepClass::kNonStateModifying);
+  EXPECT_TRUE(w.is_open());
+  w.on_outbound(seep::SeepClass::kStateModifying);
+  EXPECT_FALSE(w.is_open());
+  EXPECT_FALSE(ctx.window_open());
+  EXPECT_EQ(w.stats().closed_by_seep, 1u);
+}
+
+TEST_F(WindowFixture, PessimisticClosesOnAnySeep) {
+  seep::Window w(seep::Policy::kPessimistic, ctx);
+  w.open();
+  w.on_outbound(seep::SeepClass::kNonStateModifying);
+  EXPECT_FALSE(w.is_open());
+}
+
+TEST_F(WindowFixture, YieldForcesClose) {
+  seep::Window w(seep::Policy::kEnhanced, ctx);
+  w.open();
+  w.on_yield();
+  EXPECT_FALSE(w.is_open());
+  EXPECT_EQ(w.stats().closed_by_yield, 1u);
+}
+
+TEST_F(WindowFixture, CloseDiscardsUndoLog) {
+  seep::Window w(seep::Policy::kEnhanced, ctx);
+  w.open();
+  int v = 0;
+  ctx.log().record(&v, sizeof v);
+  w.on_outbound(seep::SeepClass::kStateModifying);
+  EXPECT_TRUE(ctx.log().empty());  // past the window the checkpoint is useless
+}
+
+TEST_F(WindowFixture, StatelessPolicyNeverOpens) {
+  seep::Window w(seep::Policy::kStateless, ctx);
+  w.open();
+  EXPECT_FALSE(w.is_open());
+}
+
+TEST_F(WindowFixture, ProbeHitsSplitByWindowState) {
+  seep::Window w(seep::Policy::kEnhanced, ctx);
+  w.open();
+  w.probe_hit();
+  w.probe_hit();
+  w.on_outbound(seep::SeepClass::kStateModifying);
+  w.probe_hit();
+  EXPECT_EQ(w.stats().probe_hits_inside, 2u);
+  EXPECT_EQ(w.stats().probe_hits_outside, 1u);
+  EXPECT_NEAR(w.stats().coverage(), 2.0 / 3.0, 1e-9);
+}
+
+// --- fibers -----------------------------------------------------------
+
+TEST(Fiber, RunsToCompletion) {
+  int steps = 0;
+  cothread::Fiber f([&] { steps = 42; });
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(steps, 42);
+}
+
+TEST(Fiber, SuspendAndResume) {
+  std::vector<int> order;
+  cothread::Fiber f([&] {
+    order.push_back(1);
+    cothread::Fiber::suspend();
+    order.push_back(3);
+  });
+  f.resume();
+  order.push_back(2);
+  f.resume();
+  order.push_back(4);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, CurrentTracksExecution) {
+  EXPECT_EQ(cothread::Fiber::current(), nullptr);
+  cothread::Fiber* seen = nullptr;
+  cothread::Fiber f([&] { seen = cothread::Fiber::current(); });
+  f.resume();
+  EXPECT_EQ(seen, &f);
+  EXPECT_EQ(cothread::Fiber::current(), nullptr);
+}
+
+TEST(Fiber, ExceptionIsCapturedNotPropagated) {
+  cothread::Fiber f([] { throw std::runtime_error("inside fiber"); });
+  f.resume();  // must not throw on the resumer's stack
+  EXPECT_TRUE(f.finished());
+  auto e = f.take_exception();
+  ASSERT_TRUE(e != nullptr);
+  EXPECT_THROW(std::rethrow_exception(e), std::runtime_error);
+  EXPECT_EQ(f.take_exception(), nullptr);  // fetching clears
+}
+
+TEST(Fiber, ManyFibersInterleave) {
+  constexpr int kN = 16;
+  std::vector<std::unique_ptr<cothread::Fiber>> fibers;
+  std::vector<int> counters(kN, 0);
+  for (int i = 0; i < kN; ++i) {
+    fibers.push_back(std::make_unique<cothread::Fiber>([&counters, i] {
+      for (int round = 0; round < 5; ++round) {
+        ++counters[i];
+        cothread::Fiber::suspend();
+      }
+    }));
+  }
+  for (int round = 0; round < 5; ++round) {
+    for (auto& f : fibers) f->resume();
+  }
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(counters[i], 5);
+}
+
+TEST(Fiber, NestedResumeFromInsideFiber) {
+  // A fiber resuming another fiber (as VFS does when a worker runs while a
+  // user fiber's syscall chain is active elsewhere).
+  int inner_ran = 0;
+  cothread::Fiber inner([&] { inner_ran = 1; });
+  cothread::Fiber outer([&] {
+    inner.resume();
+    EXPECT_EQ(cothread::Fiber::current(), &outer);
+  });
+  outer.resume();
+  EXPECT_EQ(inner_ran, 1);
+  EXPECT_TRUE(outer.finished());
+}

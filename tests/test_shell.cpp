@@ -1,0 +1,132 @@
+// Tests for the shell: parsing, builtins, pipelines, redirection, external
+// commands, and E_CRASH resilience.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "fi/registry.hpp"
+#include "os/instance.hpp"
+#include "os/shell.hpp"
+#include "workload/suite.hpp"
+
+using namespace osiris;
+using os::ISys;
+using os::run_shell_script;
+using os::ShellResult;
+
+namespace {
+
+ShellResult run_script(std::string_view script) {
+  fi::Registry::instance().disarm();
+  os::OsConfig cfg;
+  os::OsInstance inst(cfg);
+  workload::register_suite_programs(inst.programs());
+  os::register_shell_programs(inst.programs());
+  inst.boot();
+  ShellResult result;
+  const auto outcome = inst.run([&result, script](ISys& sys) {
+    result = run_shell_script(sys, script);
+  });
+  EXPECT_EQ(outcome, os::OsInstance::Outcome::kCompleted);
+  return result;
+}
+
+}  // namespace
+
+TEST(Shell, EchoAndSequencing) {
+  const auto r = run_script("echo hello world ; echo second");
+  EXPECT_EQ(r.commands_run, 2);
+  EXPECT_EQ(r.failures, 0);
+  EXPECT_NE(r.transcript.find("hello world"), std::string::npos);
+  EXPECT_NE(r.transcript.find("second"), std::string::npos);
+}
+
+TEST(Shell, RedirectAndCat) {
+  const auto r = run_script("echo file content > /tmp/out\ncat /tmp/out");
+  EXPECT_EQ(r.failures, 0);
+  EXPECT_NE(r.transcript.find("file content"), std::string::npos);
+}
+
+TEST(Shell, PipelineTransforms) {
+  const auto r = run_script("echo abc | upper | wc");
+  EXPECT_EQ(r.failures, 0);
+  // "ABC\n" -> 1 line, 4 bytes.
+  EXPECT_NE(r.transcript.find("1 4"), std::string::npos);
+}
+
+TEST(Shell, FileManagementBuiltins) {
+  const auto r = run_script(
+      "mkdir /tmp/shtest\n"
+      "touch /tmp/shtest/a\n"
+      "mv /tmp/shtest/a b\n"
+      "stat /tmp/shtest/b\n"
+      "ls /tmp/shtest\n"
+      "rm /tmp/shtest/b\n"
+      "rmdir /tmp/shtest");
+  EXPECT_EQ(r.failures, 0);
+  EXPECT_NE(r.transcript.find("size=0"), std::string::npos);
+  EXPECT_NE(r.transcript.find("b\n"), std::string::npos);
+}
+
+TEST(Shell, DataStoreBuiltins) {
+  const auto r = run_script("publish sh.key 41\nretrieve sh.key");
+  EXPECT_EQ(r.failures, 0);
+  EXPECT_NE(r.transcript.find("41"), std::string::npos);
+}
+
+TEST(Shell, ExternalCommandsAndStatus) {
+  const auto r = run_script("true\nsleepy\nfail7\nno-such-binary");
+  EXPECT_EQ(r.commands_run, 4);
+  EXPECT_EQ(r.failures, 2);  // fail7 exits 7; no-such-binary is E_NOENT
+}
+
+TEST(Shell, CommentsAndBlankLines) {
+  const auto r = run_script("# just a comment\n\n   \necho visible # trailing\n");
+  EXPECT_EQ(r.commands_run, 1);
+  EXPECT_NE(r.transcript.find("visible"), std::string::npos);
+}
+
+TEST(Shell, MonitoringBuiltins) {
+  const auto r = run_script("ps\nmeminfo\ncrashinfo");
+  EXPECT_EQ(r.failures, 0);
+  EXPECT_NE(r.transcript.find("pid 1"), std::string::npos);
+  EXPECT_NE(r.transcript.find("pages free"), std::string::npos);
+  EXPECT_NE(r.transcript.find("0 restarts"), std::string::npos);
+}
+
+TEST(Shell, SurvivesComponentRecovery) {
+  // Profile a DS-heavy script, then rerun with a fail-stop fault planted in
+  // DS: the shell reports the E_CRASH and finishes the script.
+  fi::Registry::instance().disarm();
+  fi::Registry::instance().reset_counts();
+  const char* script =
+      "publish crash.a 1\npublish crash.b 2\npublish crash.c 3\n"
+      "publish crash.d 4\nretrieve crash.b\necho done";
+  (void)run_script(script);
+  fi::Site* site = nullptr;
+  for (fi::Site* s : fi::Registry::instance().sites()) {
+    if (std::strcmp(s->tag, "ds") == 0 && (site == nullptr || s->hits > site->hits)) site = s;
+  }
+  ASSERT_NE(site, nullptr);
+  const std::uint64_t trigger = site->hits / 2;
+  fi::Registry::instance().reset_counts();
+
+  os::OsConfig cfg;
+  os::OsInstance inst(cfg);
+  workload::register_suite_programs(inst.programs());
+  os::register_shell_programs(inst.programs());
+  inst.boot();
+  fi::Registry::instance().arm(site, fi::FaultType::kNullDeref, trigger);
+  ShellResult result;
+  const auto outcome = inst.run([&result, script](ISys& sys) {
+    result = run_shell_script(sys, script);
+  });
+  fi::Registry::instance().disarm();
+
+  ASSERT_EQ(outcome, os::OsInstance::Outcome::kCompleted);
+  EXPECT_EQ(result.commands_run, 6);
+  EXPECT_NE(result.transcript.find("done"), std::string::npos);  // script finished
+  if (inst.engine().recoveries_of(kernel::kDsEp) > 0) {
+    EXPECT_GE(result.crash_errors + result.failures, 1);
+  }
+}

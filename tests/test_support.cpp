@@ -1,0 +1,160 @@
+// Unit tests: support substrate (rng, fixed strings, virtual clock, stats,
+// table printer).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/clock.hpp"
+#include "support/fixed_string.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table_printer.hpp"
+
+using namespace osiris;
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo && saw_hi);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(11);
+  Rng child = a.fork();
+  EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(FixedString, BasicAssignAndCompare) {
+  FixedString<16> s;
+  EXPECT_TRUE(s.empty());
+  s.assign("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.view(), "hello");
+  EXPECT_TRUE(s == "hello");
+  EXPECT_STREQ(s.c_str(), "hello");
+}
+
+TEST(FixedString, TruncatesAtCapacity) {
+  FixedString<8> s;  // capacity 7 + NUL
+  s.assign("0123456789");
+  EXPECT_EQ(s.size(), 7u);
+  EXPECT_EQ(s.view(), "0123456");
+}
+
+TEST(FixedString, TriviallyCopyable) {
+  static_assert(std::is_trivially_copyable_v<FixedString<32>>);
+  FixedString<32> a("abc");
+  FixedString<32> b = a;
+  EXPECT_EQ(b.view(), "abc");
+}
+
+TEST(VirtualClock, CallbacksFireInDeadlineOrder) {
+  VirtualClock clock;
+  std::vector<int> order;
+  clock.call_at(30, [&] { order.push_back(3); });
+  clock.call_at(10, [&] { order.push_back(1); });
+  clock.call_at(20, [&] { order.push_back(2); });
+  while (clock.advance_to_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now(), 30u);
+}
+
+TEST(VirtualClock, CallAfterIsRelative) {
+  VirtualClock clock;
+  clock.spin(100);
+  bool fired = false;
+  clock.call_after(5, [&] { fired = true; });
+  EXPECT_TRUE(clock.advance_to_next());
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(clock.now(), 105u);
+}
+
+TEST(VirtualClock, CallbackCanReschedule) {
+  VirtualClock clock;
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    if (++fires < 3) clock.call_after(10, tick);
+  };
+  clock.call_after(10, tick);
+  while (clock.advance_to_next()) {
+  }
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(clock.now(), 30u);
+}
+
+TEST(VirtualClock, SpinSkipsWithoutRunning) {
+  VirtualClock clock;
+  bool fired = false;
+  clock.call_at(5, [&] { fired = true; });
+  clock.spin(10);
+  EXPECT_FALSE(fired);  // spin does not run callbacks
+  clock.run_due();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(stats::median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(stats::median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Stats, GeomeanOfRatios) {
+  EXPECT_NEAR(stats::geomean({1.0, 4.0}), 2.0, 1e-9);
+  EXPECT_NEAR(stats::geomean({2.0, 2.0, 2.0}), 2.0, 1e-9);
+}
+
+TEST(Stats, StddevZeroForConstant) {
+  EXPECT_DOUBLE_EQ(stats::stddev({5, 5, 5}), 0.0);
+  EXPECT_NEAR(stats::stddev({1, 3}), std::sqrt(2.0), 1e-9);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(stats::min({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(stats::max({3, 1, 2}), 3.0);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"A", "Longer"});
+  t.add_row({"xxxx", "y"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("| A    | Longer |"), std::string::npos);
+  EXPECT_NE(out.find("| xxxx | y      |"), std::string::npos);
+}
+
+TEST(TablePrinter, PercentFormatting) {
+  EXPECT_EQ(TablePrinter::pct(0.684), "68.4%");
+  EXPECT_EQ(TablePrinter::fmt(1.2345, 2), "1.23");
+}
