@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_microbench.dir/ckpt_microbench.cpp.o"
+  "CMakeFiles/ckpt_microbench.dir/ckpt_microbench.cpp.o.d"
+  "ckpt_microbench"
+  "ckpt_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

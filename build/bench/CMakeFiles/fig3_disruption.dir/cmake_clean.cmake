@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_disruption.dir/fig3_disruption.cpp.o"
+  "CMakeFiles/fig3_disruption.dir/fig3_disruption.cpp.o.d"
+  "fig3_disruption"
+  "fig3_disruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_disruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

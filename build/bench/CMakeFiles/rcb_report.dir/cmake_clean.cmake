@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcb_report.dir/rcb_report.cpp.o"
+  "CMakeFiles/rcb_report.dir/rcb_report.cpp.o.d"
+  "rcb_report"
+  "rcb_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcb_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

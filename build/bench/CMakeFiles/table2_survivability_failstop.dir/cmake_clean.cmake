@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_survivability_failstop.dir/table2_survivability_failstop.cpp.o"
+  "CMakeFiles/table2_survivability_failstop.dir/table2_survivability_failstop.cpp.o.d"
+  "table2_survivability_failstop"
+  "table2_survivability_failstop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_survivability_failstop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_survivability_edfi.dir/table3_survivability_edfi.cpp.o"
+  "CMakeFiles/table3_survivability_edfi.dir/table3_survivability_edfi.cpp.o.d"
+  "table3_survivability_edfi"
+  "table3_survivability_edfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_survivability_edfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

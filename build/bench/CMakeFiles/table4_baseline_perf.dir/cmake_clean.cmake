@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_baseline_perf.dir/table4_baseline_perf.cpp.o"
+  "CMakeFiles/table4_baseline_perf.dir/table4_baseline_perf.cpp.o.d"
+  "table4_baseline_perf"
+  "table4_baseline_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_baseline_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multithreaded_vfs.cpp" "examples/CMakeFiles/multithreaded_vfs.dir/multithreaded_vfs.cpp.o" "gcc" "examples/CMakeFiles/multithreaded_vfs.dir/multithreaded_vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/osiris_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/osiris_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/servers/CMakeFiles/osiris_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/osiris_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/osiris_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/osiris_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cothread/CMakeFiles/osiris_cothread.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/osiris_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/osiris_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/osiris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

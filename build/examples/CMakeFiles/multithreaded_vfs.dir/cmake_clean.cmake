@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multithreaded_vfs.dir/multithreaded_vfs.cpp.o"
+  "CMakeFiles/multithreaded_vfs.dir/multithreaded_vfs.cpp.o.d"
+  "multithreaded_vfs"
+  "multithreaded_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multithreaded_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

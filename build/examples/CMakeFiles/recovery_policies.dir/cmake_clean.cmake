@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_policies.dir/recovery_policies.cpp.o"
+  "CMakeFiles/recovery_policies.dir/recovery_policies.cpp.o.d"
+  "recovery_policies"
+  "recovery_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

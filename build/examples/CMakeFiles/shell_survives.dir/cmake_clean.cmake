@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shell_survives.dir/shell_survives.cpp.o"
+  "CMakeFiles/shell_survives.dir/shell_survives.cpp.o.d"
+  "shell_survives"
+  "shell_survives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shell_survives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shell_survives.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_ckpt.dir/undo_log.cpp.o"
+  "CMakeFiles/osiris_ckpt.dir/undo_log.cpp.o.d"
+  "libosiris_ckpt.a"
+  "libosiris_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

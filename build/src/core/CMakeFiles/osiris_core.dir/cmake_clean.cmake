@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_core.dir/metrics.cpp.o"
+  "CMakeFiles/osiris_core.dir/metrics.cpp.o.d"
+  "libosiris_core.a"
+  "libosiris_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

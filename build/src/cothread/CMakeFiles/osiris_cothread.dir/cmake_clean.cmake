@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_cothread.dir/fiber.cpp.o"
+  "CMakeFiles/osiris_cothread.dir/fiber.cpp.o.d"
+  "libosiris_cothread.a"
+  "libosiris_cothread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_cothread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_fi.dir/registry.cpp.o"
+  "CMakeFiles/osiris_fi.dir/registry.cpp.o.d"
+  "libosiris_fi.a"
+  "libosiris_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

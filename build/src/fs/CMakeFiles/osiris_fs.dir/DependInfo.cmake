@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/blockdev.cpp" "src/fs/CMakeFiles/osiris_fs.dir/blockdev.cpp.o" "gcc" "src/fs/CMakeFiles/osiris_fs.dir/blockdev.cpp.o.d"
+  "/root/repo/src/fs/cache.cpp" "src/fs/CMakeFiles/osiris_fs.dir/cache.cpp.o" "gcc" "src/fs/CMakeFiles/osiris_fs.dir/cache.cpp.o.d"
+  "/root/repo/src/fs/minifs.cpp" "src/fs/CMakeFiles/osiris_fs.dir/minifs.cpp.o" "gcc" "src/fs/CMakeFiles/osiris_fs.dir/minifs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/osiris_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/osiris_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

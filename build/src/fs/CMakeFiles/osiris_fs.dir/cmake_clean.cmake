@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_fs.dir/blockdev.cpp.o"
+  "CMakeFiles/osiris_fs.dir/blockdev.cpp.o.d"
+  "CMakeFiles/osiris_fs.dir/cache.cpp.o"
+  "CMakeFiles/osiris_fs.dir/cache.cpp.o.d"
+  "CMakeFiles/osiris_fs.dir/minifs.cpp.o"
+  "CMakeFiles/osiris_fs.dir/minifs.cpp.o.d"
+  "libosiris_fs.a"
+  "libosiris_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

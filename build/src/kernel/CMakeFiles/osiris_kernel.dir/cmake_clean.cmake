@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/osiris_kernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/osiris_kernel.dir/message.cpp.o"
+  "CMakeFiles/osiris_kernel.dir/message.cpp.o.d"
+  "libosiris_kernel.a"
+  "libosiris_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

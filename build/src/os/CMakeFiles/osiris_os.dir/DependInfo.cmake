@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/instance.cpp" "src/os/CMakeFiles/osiris_os.dir/instance.cpp.o" "gcc" "src/os/CMakeFiles/osiris_os.dir/instance.cpp.o.d"
+  "/root/repo/src/os/mono.cpp" "src/os/CMakeFiles/osiris_os.dir/mono.cpp.o" "gcc" "src/os/CMakeFiles/osiris_os.dir/mono.cpp.o.d"
+  "/root/repo/src/os/shell.cpp" "src/os/CMakeFiles/osiris_os.dir/shell.cpp.o" "gcc" "src/os/CMakeFiles/osiris_os.dir/shell.cpp.o.d"
+  "/root/repo/src/os/syscalls.cpp" "src/os/CMakeFiles/osiris_os.dir/syscalls.cpp.o" "gcc" "src/os/CMakeFiles/osiris_os.dir/syscalls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/servers/CMakeFiles/osiris_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/osiris_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/osiris_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cothread/CMakeFiles/osiris_cothread.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/osiris_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/osiris_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/osiris_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/osiris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

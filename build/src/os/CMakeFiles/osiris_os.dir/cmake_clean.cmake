@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_os.dir/instance.cpp.o"
+  "CMakeFiles/osiris_os.dir/instance.cpp.o.d"
+  "CMakeFiles/osiris_os.dir/mono.cpp.o"
+  "CMakeFiles/osiris_os.dir/mono.cpp.o.d"
+  "CMakeFiles/osiris_os.dir/shell.cpp.o"
+  "CMakeFiles/osiris_os.dir/shell.cpp.o.d"
+  "CMakeFiles/osiris_os.dir/syscalls.cpp.o"
+  "CMakeFiles/osiris_os.dir/syscalls.cpp.o.d"
+  "libosiris_os.a"
+  "libosiris_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

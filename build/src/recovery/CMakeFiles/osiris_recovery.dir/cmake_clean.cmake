@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_recovery.dir/engine.cpp.o"
+  "CMakeFiles/osiris_recovery.dir/engine.cpp.o.d"
+  "libosiris_recovery.a"
+  "libosiris_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

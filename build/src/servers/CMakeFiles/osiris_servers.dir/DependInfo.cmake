@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/servers/ds.cpp" "src/servers/CMakeFiles/osiris_servers.dir/ds.cpp.o" "gcc" "src/servers/CMakeFiles/osiris_servers.dir/ds.cpp.o.d"
+  "/root/repo/src/servers/pm.cpp" "src/servers/CMakeFiles/osiris_servers.dir/pm.cpp.o" "gcc" "src/servers/CMakeFiles/osiris_servers.dir/pm.cpp.o.d"
+  "/root/repo/src/servers/protocol.cpp" "src/servers/CMakeFiles/osiris_servers.dir/protocol.cpp.o" "gcc" "src/servers/CMakeFiles/osiris_servers.dir/protocol.cpp.o.d"
+  "/root/repo/src/servers/rs.cpp" "src/servers/CMakeFiles/osiris_servers.dir/rs.cpp.o" "gcc" "src/servers/CMakeFiles/osiris_servers.dir/rs.cpp.o.d"
+  "/root/repo/src/servers/sys_task.cpp" "src/servers/CMakeFiles/osiris_servers.dir/sys_task.cpp.o" "gcc" "src/servers/CMakeFiles/osiris_servers.dir/sys_task.cpp.o.d"
+  "/root/repo/src/servers/vfs.cpp" "src/servers/CMakeFiles/osiris_servers.dir/vfs.cpp.o" "gcc" "src/servers/CMakeFiles/osiris_servers.dir/vfs.cpp.o.d"
+  "/root/repo/src/servers/vm.cpp" "src/servers/CMakeFiles/osiris_servers.dir/vm.cpp.o" "gcc" "src/servers/CMakeFiles/osiris_servers.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/osiris_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/osiris_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/osiris_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/osiris_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/cothread/CMakeFiles/osiris_cothread.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/osiris_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/osiris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_servers.dir/ds.cpp.o"
+  "CMakeFiles/osiris_servers.dir/ds.cpp.o.d"
+  "CMakeFiles/osiris_servers.dir/pm.cpp.o"
+  "CMakeFiles/osiris_servers.dir/pm.cpp.o.d"
+  "CMakeFiles/osiris_servers.dir/protocol.cpp.o"
+  "CMakeFiles/osiris_servers.dir/protocol.cpp.o.d"
+  "CMakeFiles/osiris_servers.dir/rs.cpp.o"
+  "CMakeFiles/osiris_servers.dir/rs.cpp.o.d"
+  "CMakeFiles/osiris_servers.dir/sys_task.cpp.o"
+  "CMakeFiles/osiris_servers.dir/sys_task.cpp.o.d"
+  "CMakeFiles/osiris_servers.dir/vfs.cpp.o"
+  "CMakeFiles/osiris_servers.dir/vfs.cpp.o.d"
+  "CMakeFiles/osiris_servers.dir/vm.cpp.o"
+  "CMakeFiles/osiris_servers.dir/vm.cpp.o.d"
+  "libosiris_servers.a"
+  "libosiris_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_support.dir/log.cpp.o"
+  "CMakeFiles/osiris_support.dir/log.cpp.o.d"
+  "CMakeFiles/osiris_support.dir/stats.cpp.o"
+  "CMakeFiles/osiris_support.dir/stats.cpp.o.d"
+  "CMakeFiles/osiris_support.dir/table_printer.cpp.o"
+  "CMakeFiles/osiris_support.dir/table_printer.cpp.o.d"
+  "libosiris_support.a"
+  "libosiris_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/campaign.cpp" "src/workload/CMakeFiles/osiris_workload.dir/campaign.cpp.o" "gcc" "src/workload/CMakeFiles/osiris_workload.dir/campaign.cpp.o.d"
+  "/root/repo/src/workload/coverage.cpp" "src/workload/CMakeFiles/osiris_workload.dir/coverage.cpp.o" "gcc" "src/workload/CMakeFiles/osiris_workload.dir/coverage.cpp.o.d"
+  "/root/repo/src/workload/suite.cpp" "src/workload/CMakeFiles/osiris_workload.dir/suite.cpp.o" "gcc" "src/workload/CMakeFiles/osiris_workload.dir/suite.cpp.o.d"
+  "/root/repo/src/workload/suite_fs.cpp" "src/workload/CMakeFiles/osiris_workload.dir/suite_fs.cpp.o" "gcc" "src/workload/CMakeFiles/osiris_workload.dir/suite_fs.cpp.o.d"
+  "/root/repo/src/workload/suite_misc.cpp" "src/workload/CMakeFiles/osiris_workload.dir/suite_misc.cpp.o" "gcc" "src/workload/CMakeFiles/osiris_workload.dir/suite_misc.cpp.o.d"
+  "/root/repo/src/workload/suite_pipe.cpp" "src/workload/CMakeFiles/osiris_workload.dir/suite_pipe.cpp.o" "gcc" "src/workload/CMakeFiles/osiris_workload.dir/suite_pipe.cpp.o.d"
+  "/root/repo/src/workload/suite_proc.cpp" "src/workload/CMakeFiles/osiris_workload.dir/suite_proc.cpp.o" "gcc" "src/workload/CMakeFiles/osiris_workload.dir/suite_proc.cpp.o.d"
+  "/root/repo/src/workload/unixbench.cpp" "src/workload/CMakeFiles/osiris_workload.dir/unixbench.cpp.o" "gcc" "src/workload/CMakeFiles/osiris_workload.dir/unixbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/osiris_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/servers/CMakeFiles/osiris_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/osiris_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/osiris_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/osiris_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cothread/CMakeFiles/osiris_cothread.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/osiris_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/osiris_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/osiris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

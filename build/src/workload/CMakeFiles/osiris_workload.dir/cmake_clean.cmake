@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osiris_workload.dir/campaign.cpp.o"
+  "CMakeFiles/osiris_workload.dir/campaign.cpp.o.d"
+  "CMakeFiles/osiris_workload.dir/coverage.cpp.o"
+  "CMakeFiles/osiris_workload.dir/coverage.cpp.o.d"
+  "CMakeFiles/osiris_workload.dir/suite.cpp.o"
+  "CMakeFiles/osiris_workload.dir/suite.cpp.o.d"
+  "CMakeFiles/osiris_workload.dir/suite_fs.cpp.o"
+  "CMakeFiles/osiris_workload.dir/suite_fs.cpp.o.d"
+  "CMakeFiles/osiris_workload.dir/suite_misc.cpp.o"
+  "CMakeFiles/osiris_workload.dir/suite_misc.cpp.o.d"
+  "CMakeFiles/osiris_workload.dir/suite_pipe.cpp.o"
+  "CMakeFiles/osiris_workload.dir/suite_pipe.cpp.o.d"
+  "CMakeFiles/osiris_workload.dir/suite_proc.cpp.o"
+  "CMakeFiles/osiris_workload.dir/suite_proc.cpp.o.d"
+  "CMakeFiles/osiris_workload.dir/unixbench.cpp.o"
+  "CMakeFiles/osiris_workload.dir/unixbench.cpp.o.d"
+  "libosiris_workload.a"
+  "libosiris_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osiris_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ckpt.cpp" "tests/CMakeFiles/osiris_tests.dir/test_ckpt.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_ckpt.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/osiris_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_extended_policy.cpp" "tests/CMakeFiles/osiris_tests.dir/test_extended_policy.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_extended_policy.cpp.o.d"
+  "/root/repo/tests/test_fi.cpp" "tests/CMakeFiles/osiris_tests.dir/test_fi.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_fi.cpp.o.d"
+  "/root/repo/tests/test_fs.cpp" "tests/CMakeFiles/osiris_tests.dir/test_fs.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_fs.cpp.o.d"
+  "/root/repo/tests/test_kernel.cpp" "tests/CMakeFiles/osiris_tests.dir/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_kernel.cpp.o.d"
+  "/root/repo/tests/test_param_sweeps.cpp" "tests/CMakeFiles/osiris_tests.dir/test_param_sweeps.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_param_sweeps.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/osiris_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_recovery.cpp" "tests/CMakeFiles/osiris_tests.dir/test_recovery.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_recovery.cpp.o.d"
+  "/root/repo/tests/test_recovery_integration.cpp" "tests/CMakeFiles/osiris_tests.dir/test_recovery_integration.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_recovery_integration.cpp.o.d"
+  "/root/repo/tests/test_seep_cothread.cpp" "tests/CMakeFiles/osiris_tests.dir/test_seep_cothread.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_seep_cothread.cpp.o.d"
+  "/root/repo/tests/test_shell.cpp" "tests/CMakeFiles/osiris_tests.dir/test_shell.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_shell.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/osiris_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_suite_clean.cpp" "tests/CMakeFiles/osiris_tests.dir/test_suite_clean.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_suite_clean.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/osiris_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/osiris_tests.dir/test_support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/osiris_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/osiris_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/osiris_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/servers/CMakeFiles/osiris_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/osiris_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/fi/CMakeFiles/osiris_fi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckpt/CMakeFiles/osiris_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cothread/CMakeFiles/osiris_cothread.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/osiris_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/osiris_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/osiris_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
