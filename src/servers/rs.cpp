@@ -25,6 +25,9 @@ void Rs::schedule_next_sweep() {
   if (sweep_interval_ == 0) return;
   kernel::Kernel* k = &kern();
   const auto self = endpoint();
+  // analyze-suppress(raw-kernel-send): self-notify fired from a clock
+  // callback, outside any request window; there is no cross-component
+  // dependency for the window to observe.
   k->clock().call_after(sweep_interval_, [k, self] { k->notify(self, self, RS_SWEEP); });
 }
 

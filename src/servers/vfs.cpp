@@ -119,6 +119,9 @@ void Vfs::CachedStore::read_block(std::uint32_t bno,
   vfs_.dev_.submit_read(bno, std::span<std::byte, fs::kBlockSize>(*staging),
                         [k, self, token, staging] {
                           Message done = make_msg(VFS_DEV_DONE | kernel::kNotifyBit, token);
+                          // analyze-suppress(raw-kernel-send): self-directed
+                          // completion from the disk callback; the window was
+                          // already force-closed by the on_yield() below.
                           k->send(self, self, done);
                         });
   w->wait_token = token;

@@ -1,0 +1,134 @@
+// seep::Classification defaults and Window accounting edge cases: the
+// conservative-default fallback for unknown message types, the tainted_
+// double-count guard, and the closed_by_yield path.
+#include <gtest/gtest.h>
+
+#include "ckpt/context.hpp"
+#include "seep/policy.hpp"
+#include "seep/seep.hpp"
+#include "seep/window.hpp"
+
+using namespace osiris;
+using seep::Policy;
+using seep::SeepClass;
+
+TEST(Classification, UnknownTypeFallsToConservativeDefault) {
+  seep::Classification c;
+  const seep::MsgTraits t = c.get(0xDEAD);
+  EXPECT_EQ(t.seep, SeepClass::kStateModifying);
+  EXPECT_TRUE(t.replyable);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(Classification, ExplicitEntryOverridesDefault) {
+  seep::Classification c;
+  c.set(0x100, SeepClass::kNonStateModifying, /*replyable=*/false);
+  const seep::MsgTraits t = c.get(0x100);
+  EXPECT_EQ(t.seep, SeepClass::kNonStateModifying);
+  EXPECT_FALSE(t.replyable);
+  EXPECT_EQ(c.size(), 1u);
+  // Unrelated types still fall to the default.
+  EXPECT_EQ(c.get(0x101).seep, SeepClass::kStateModifying);
+}
+
+namespace {
+
+struct WindowFixture {
+  ckpt::Context ctx{ckpt::Mode::kWindowOnly};
+  seep::Window window;
+  explicit WindowFixture(Policy p) : window(p, ctx) {}
+};
+
+}  // namespace
+
+TEST(Window, ExtendedDoubleRequesterScopedTaintCountsOnce) {
+  WindowFixture f(Policy::kExtended);
+  f.window.open();
+  f.window.on_outbound(SeepClass::kRequesterScoped);
+  f.window.on_outbound(SeepClass::kRequesterScoped);
+  EXPECT_TRUE(f.window.is_open());  // taint does not close
+  EXPECT_TRUE(f.window.is_tainted());
+  EXPECT_EQ(f.window.stats().tainted, 1u);  // guard: counted once per window
+  EXPECT_EQ(f.window.stats().closed_by_seep, 0u);
+
+  f.window.end_of_request();
+  EXPECT_FALSE(f.window.is_tainted());
+
+  // The guard re-arms for the next window.
+  f.window.open();
+  EXPECT_FALSE(f.window.is_tainted());
+  f.window.on_outbound(SeepClass::kRequesterScoped);
+  EXPECT_EQ(f.window.stats().tainted, 2u);
+}
+
+TEST(Window, EnhancedClosesOnStateModifyingOnly) {
+  WindowFixture f(Policy::kEnhanced);
+  f.window.open();
+  f.window.on_outbound(SeepClass::kNonStateModifying);
+  EXPECT_TRUE(f.window.is_open());
+  f.window.on_outbound(SeepClass::kStateModifying);
+  EXPECT_FALSE(f.window.is_open());
+  EXPECT_EQ(f.window.stats().closed_by_seep, 1u);
+  // Further outbound traffic on a closed window is not double-counted.
+  f.window.on_outbound(SeepClass::kStateModifying);
+  EXPECT_EQ(f.window.stats().closed_by_seep, 1u);
+}
+
+TEST(Window, EnhancedTreatsRequesterScopedAsClosing) {
+  WindowFixture f(Policy::kEnhanced);
+  f.window.open();
+  f.window.on_outbound(SeepClass::kRequesterScoped);
+  EXPECT_FALSE(f.window.is_open());
+  EXPECT_EQ(f.window.stats().closed_by_seep, 1u);
+  EXPECT_EQ(f.window.stats().tainted, 0u);
+}
+
+TEST(Window, PessimisticClosesOnAnyOutbound) {
+  WindowFixture f(Policy::kPessimistic);
+  f.window.open();
+  f.window.on_outbound(SeepClass::kNonStateModifying);
+  EXPECT_FALSE(f.window.is_open());
+  EXPECT_EQ(f.window.stats().closed_by_seep, 1u);
+}
+
+TEST(Window, YieldForcesCloseOnceAndOnlyWhileOpen) {
+  WindowFixture f(Policy::kEnhanced);
+  f.window.on_yield();  // no window open: nothing to close
+  EXPECT_EQ(f.window.stats().closed_by_yield, 0u);
+
+  f.window.open();
+  f.window.on_yield();
+  EXPECT_FALSE(f.window.is_open());
+  EXPECT_EQ(f.window.stats().closed_by_yield, 1u);
+  f.window.on_yield();  // already closed
+  EXPECT_EQ(f.window.stats().closed_by_yield, 1u);
+}
+
+TEST(Window, NonWindowPolicyOpenIsNoOp) {
+  WindowFixture f(Policy::kNaive);
+  f.window.open();
+  EXPECT_FALSE(f.window.is_open());
+  EXPECT_EQ(f.window.stats().opened, 0u);
+  f.window.on_outbound(SeepClass::kStateModifying);
+  EXPECT_EQ(f.window.stats().closed_by_seep, 0u);
+}
+
+TEST(Window, ProbeHitsAttributedToWindowState) {
+  WindowFixture f(Policy::kEnhanced);
+  f.window.probe_hit();
+  f.window.open();
+  f.window.probe_hit();
+  f.window.probe_hit();
+  EXPECT_EQ(f.window.stats().probe_hits_inside, 2u);
+  EXPECT_EQ(f.window.stats().probe_hits_outside, 1u);
+  EXPECT_DOUBLE_EQ(f.window.stats().coverage(), 2.0 / 3.0);
+}
+
+TEST(Window, ContextWindowFlagTracksOpenClose) {
+  WindowFixture f(Policy::kEnhanced);
+  EXPECT_FALSE(f.ctx.window_open());
+  f.window.open();
+  EXPECT_TRUE(f.ctx.window_open());
+  f.window.on_outbound(SeepClass::kStateModifying);
+  EXPECT_FALSE(f.ctx.window_open());
+}

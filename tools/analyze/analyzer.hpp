@@ -1,0 +1,20 @@
+// osiris-analyze: orchestration — scan a source tree, run both passes,
+// produce the combined report.
+#pragma once
+
+#include <string>
+
+#include "model.hpp"
+
+namespace osiris::analyze {
+
+/// Analyze the tree rooted at `root` (the repository root: passes scan
+/// `<root>/src/servers`, `<root>/src/fs`, `<root>/src/os`).
+/// Throws std::runtime_error if the expected layout is missing.
+Report analyze_tree(const std::string& root);
+
+/// Render the report as JSON (the machine-readable artifact the lint gate
+/// writes next to the build).
+std::string report_to_json(const Report& report);
+
+}  // namespace osiris::analyze

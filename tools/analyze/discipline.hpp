@@ -1,0 +1,44 @@
+// Pass 1 — discipline lint: verify the store-instrumentation substitution.
+//
+// The paper instruments every store to recoverable state with an LLVM pass;
+// this reproduction substitutes ckpt:: wrapper types plus a set of coding
+// conventions. This pass turns the conventions into checked rules:
+//
+//   state-raw-field   — a field of a `*State` struct is not a ckpt:: wrapper
+//                       (its stores would never reach the undo log);
+//   state-memfn       — memcpy/memset/memmove writing into the recoverable
+//                       data section (bypasses per-store logging);
+//   state-const-cast  — const_cast on state (read-only accessors laundered
+//                       into unlogged mutable access);
+//   mutate-escape     — a mutate() reference escaping the statement scope
+//                       (returned, address-taken, or bound to a static):
+//                       later writes through it would be unlogged because
+//                       the old bytes were only recorded once, at a
+//                       checkpoint that may since have been reset;
+//   raw-kernel-send   — outbound IPC in a server implementation bypassing
+//                       the seep_* wrappers (the recovery window would not
+//                       observe the dependency).
+#pragma once
+
+#include <vector>
+
+#include "lexer.hpp"
+#include "model.hpp"
+
+namespace osiris::analyze {
+
+struct DisciplineOptions {
+  /// Apply the raw-kernel-send detector (off for infrastructure files that
+  /// legitimately implement the seep_* wrappers themselves).
+  bool check_raw_kernel_sends = true;
+};
+
+struct DisciplineStats {
+  int state_structs = 0;
+  int state_fields = 0;
+};
+
+DisciplineStats run_discipline_pass(const LexedFile& f, const DisciplineOptions& opt,
+                                    std::vector<Finding>& findings);
+
+}  // namespace osiris::analyze

@@ -1,0 +1,19 @@
+// Fixture classification: PM_GONE names no live protocol message
+// (stale-class-entry); PM_LOST from the enum is deliberately absent.
+#include "protocol.hpp"
+
+namespace fixture {
+
+seep::Classification build_classification() {
+  seep::Classification c;
+  const auto SM = seep::SeepClass::kStateModifying;
+  const auto NSM = seep::SeepClass::kNonStateModifying;
+
+  c.set(PM_PING, NSM);
+  c.set(PM_FROB, SM);
+  c.set(PM_GONE, SM, /*replyable=*/false);
+
+  return c;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture protocol: a miniature *Msg enum for detector tests.
+// PM_LOST deliberately has no classification entry (unclassified-msg).
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+enum class PmMsg : std::uint32_t {
+  PM_PING = 0x001,
+  PM_FROB = 0x002,
+  PM_LOST = 0x003,
+};
+
+}  // namespace fixture

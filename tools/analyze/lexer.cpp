@@ -1,0 +1,177 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace osiris::analyze {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+/// Harvest `analyze-suppress(detector): reason` from a comment body.
+/// Registers at the comment's own line (trailing-comment idiom) and queues
+/// the detectors in `pending` so the tokenizer can also attach them to the
+/// next code line (comment-above idiom, however many comment lines tall).
+void harvest_suppressions(std::string_view comment, int line, LexedFile& out,
+                          std::vector<std::string>& pending) {
+  constexpr std::string_view kTag = "analyze-suppress(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string_view::npos) {
+    pos += kTag.size();
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) break;
+    std::string detector(comment.substr(pos, close - pos));
+    // Trim surrounding whitespace.
+    while (!detector.empty() && detector.front() == ' ') detector.erase(detector.begin());
+    while (!detector.empty() && detector.back() == ' ') detector.pop_back();
+    if (!detector.empty()) {
+      out.suppressions[line].push_back(detector);
+      pending.push_back(detector);
+    }
+    pos = close;
+  }
+}
+
+}  // namespace
+
+bool LexedFile::suppressed(const std::string& detector, int line) const {
+  // A suppression covers its own line and the next one (comment-above idiom).
+  for (int l : {line, line - 1}) {
+    auto it = suppressions.find(l);
+    if (it == suppressions.end()) continue;
+    for (const std::string& d : it->second) {
+      if (d == detector || d == "*") return true;
+    }
+  }
+  return false;
+}
+
+LexedFile lex_source(std::string path, std::string_view src) {
+  LexedFile out;
+  out.path = std::move(path);
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  std::vector<std::string> pending;  // suppressions waiting for the next code line
+  auto push = [&](Tok kind, std::string text) {
+    if (!pending.empty()) {
+      auto& dst = out.suppressions[line];
+      dst.insert(dst.end(), pending.begin(), pending.end());
+      pending.clear();
+    }
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t end = src.find('\n', i);
+      const std::size_t stop = end == std::string_view::npos ? n : end;
+      harvest_suppressions(src.substr(i, stop - i), line, out, pending);
+      i = stop;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t end = src.find("*/", i + 2);
+      const std::size_t stop = end == std::string_view::npos ? n : end + 2;
+      harvest_suppressions(src.substr(i, stop - i), line, out, pending);
+      for (std::size_t j = i; j < stop; ++j) {
+        if (src[j] == '\n') ++line;
+      }
+      i = stop;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line (honouring continuations).
+    if (c == '#') {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\') ++j;
+        ++j;
+      }
+      push(Tok::kString, std::string(src.substr(i, j + 1 - i)));
+      i = j + 1;
+      continue;
+    }
+    // Char literal.
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '\'') {
+        if (src[j] == '\\') ++j;
+        ++j;
+      }
+      push(Tok::kString, std::string(src.substr(i, j + 1 - i)));
+      i = j + 1;
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      push(Tok::kIdent, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    // Number (decimal / hex / suffixes; precise value parsing happens later).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(src[j]) || src[j] == '\'' ||
+                       ((src[j] == '+' || src[j] == '-') && (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      push(Tok::kNumber, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    // Two-char operators the passes care about; everything else single char.
+    if (i + 1 < n) {
+      const std::string_view two = src.substr(i, 2);
+      if (two == "::" || two == "->") {
+        push(Tok::kPunct, std::string(two));
+        i += 2;
+        continue;
+      }
+    }
+    push(Tok::kPunct, std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+LexedFile lex_file(const std::string& path, std::string display_path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("osiris-analyze: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string src = ss.str();
+  return lex_source(display_path.empty() ? path : std::move(display_path), src);
+}
+
+}  // namespace osiris::analyze

@@ -1,0 +1,131 @@
+// osiris-analyze: result model shared by both passes.
+//
+// The analyzer mirrors the two artifacts the paper's LLVM passes produce:
+//   Pass 1 (discipline lint)  — verifies that every store to recoverable
+//     state flows through the ckpt:: wrappers (the store-instrumentation
+//     substitution holds);
+//   Pass 2 (SEEP analysis)    — extracts outbound call sites, rebuilds the
+//     static inter-component channel graph, checks the hand-authored
+//     classification for completeness, and predicts per-policy recovery
+//     window behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace osiris::analyze {
+
+// Detector identifiers (stable strings: used in findings, suppression
+// comments, and the fixture expectations).
+inline constexpr const char* kDetStateRawField = "state-raw-field";
+inline constexpr const char* kDetStateMemfn = "state-memfn";
+inline constexpr const char* kDetStateConstCast = "state-const-cast";
+inline constexpr const char* kDetMutateEscape = "mutate-escape";
+inline constexpr const char* kDetRawKernelSend = "raw-kernel-send";
+inline constexpr const char* kDetUnclassifiedSend = "unclassified-send";
+inline constexpr const char* kDetUnclassifiedMsg = "unclassified-msg";
+inline constexpr const char* kDetStaleClassEntry = "stale-class-entry";
+
+struct Finding {
+  std::string detector;
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+/// Mirror of seep::SeepClass (the analyzer must not link the runtime; the
+/// integration test cross-checks the two enums stay in sync).
+enum class SeepClass : std::uint8_t { kNonStateModifying, kStateModifying, kRequesterScoped };
+
+/// Mirror of the windowed subset of seep::Policy.
+enum class Policy : std::uint8_t { kPessimistic, kEnhanced, kExtended };
+inline constexpr int kNumPolicies = 3;
+
+const char* seep_class_name(SeepClass c);
+const char* policy_name(Policy p);
+
+/// Static mirror of seep::policy_closes_window for the windowed policies.
+[[nodiscard]] constexpr bool policy_closes_window(Policy p, SeepClass cls) {
+  switch (p) {
+    case Policy::kPessimistic:
+      return true;
+    case Policy::kEnhanced:
+      return cls != SeepClass::kNonStateModifying;
+    case Policy::kExtended:
+      return cls == SeepClass::kStateModifying;
+  }
+  return true;
+}
+
+/// Static mirror of seep::policy_taints_window.
+[[nodiscard]] constexpr bool policy_taints_window(Policy p, SeepClass cls) {
+  return p == Policy::kExtended && cls == SeepClass::kRequesterScoped;
+}
+
+/// One enumerator of a `*Msg` protocol enum.
+struct MsgDef {
+  std::string name;
+  std::uint32_t value = 0;
+  std::string enum_name;  // e.g. "PmMsg"
+  std::string file;
+  int line = 0;
+};
+
+/// One `c.set(...)` entry of the hand-authored classification.
+struct ClassEntry {
+  std::string msg;  // enumerator name
+  SeepClass cls = SeepClass::kStateModifying;
+  bool replyable = true;
+  std::string file;
+  int line = 0;
+};
+
+/// One outbound SEEP call site in a server implementation.
+struct SendSite {
+  std::string server;  // pm / vm / vfs / ds / rs / sys
+  std::string file;
+  int line = 0;
+  std::string kind;  // call / send / notify / deferred_reply
+  std::string msg;   // enumerator name; "<dynamic>" when not statically known
+  std::string dst;   // destination server, "client", or "<dynamic>"
+  SeepClass cls = SeepClass::kStateModifying;
+  bool classified = false;  // explicit classification entry found
+};
+
+/// A deduplicated edge of the static inter-component channel graph.
+struct ChannelEdge {
+  std::string from;
+  std::string to;
+  std::string msg;
+  SeepClass cls = SeepClass::kStateModifying;
+};
+
+/// Per-server, per-policy static recovery-window prediction.
+struct WindowPrediction {
+  std::string server;
+  /// Any outbound site whose class closes the window under the policy?
+  bool may_close_by_seep[kNumPolicies] = {false, false, false};
+  /// Any outbound site whose class taints the window under the policy?
+  bool may_taint[kNumPolicies] = {false, false, false};
+  /// Distinct SEEP classes seen across the server's outbound sites.
+  std::vector<SeepClass> classes_used;
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  std::vector<MsgDef> messages;
+  std::vector<ClassEntry> classification;
+  std::vector<SendSite> sites;
+  std::vector<ChannelEdge> edges;
+  std::vector<WindowPrediction> predictions;
+  int files_scanned = 0;
+  int state_structs_checked = 0;
+  int state_fields_checked = 0;
+
+  [[nodiscard]] std::map<std::string, int> findings_by_detector() const;
+  [[nodiscard]] const WindowPrediction* prediction_for(const std::string& server) const;
+};
+
+}  // namespace osiris::analyze

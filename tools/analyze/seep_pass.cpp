@@ -1,0 +1,419 @@
+#include "seep_pass.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string_view>
+
+namespace osiris::analyze {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::size_t match_forward(const Tokens& t, std::size_t open, const char* op, const char* cl) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].is(op)) ++depth;
+    if (t[i].is(cl) && --depth == 0) return i;
+  }
+  return t.size();
+}
+
+/// Split the argument list of a call whose '(' is at `open` into top-level
+/// argument token ranges [first, last).
+std::vector<std::pair<std::size_t, std::size_t>> split_args(const Tokens& t, std::size_t open,
+                                                            std::size_t close) {
+  std::vector<std::pair<std::size_t, std::size_t>> args;
+  // Angle brackets are deliberately not tracked: `1ULL << x` lexes as two
+  // '<' tokens and would unbalance the depth; no send-site or enum argument
+  // contains a comma inside template angle brackets.
+  int depth = 0;
+  std::size_t start = open + 1;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    if (t[i].is("(") || t[i].is("{") || t[i].is("[")) ++depth;
+    if (t[i].is(")") || t[i].is("}") || t[i].is("]")) --depth;
+    if (depth == 0 && t[i].is(",")) {
+      args.emplace_back(start, i);
+      start = i + 1;
+    }
+  }
+  if (start < close) args.emplace_back(start, close);
+  return args;
+}
+
+bool looks_like_msg_constant(const std::string& s) {
+  if (s.size() < 4) return false;
+  bool has_underscore = false;
+  for (char c : s) {
+    if (c == '_') has_underscore = true;
+    if ((std::isupper(static_cast<unsigned char>(c)) == 0) && c != '_' &&
+        (std::isdigit(static_cast<unsigned char>(c)) == 0)) {
+      return false;
+    }
+  }
+  return has_underscore;
+}
+
+/// First ALL_CAPS identifier in [from, to) — the message-type constant in
+/// expressions like `PM_SIG_NOTIFY | kernel::kNotifyBit`.
+std::string first_msg_constant(const Tokens& t, std::size_t from, std::size_t to) {
+  for (std::size_t i = from; i < to; ++i) {
+    if (t[i].kind == Tok::kIdent && looks_like_msg_constant(t[i].text)) return t[i].text;
+  }
+  return {};
+}
+
+SeepClass seep_class_from_token(std::string_view name) {
+  if (name == "kNonStateModifying") return SeepClass::kNonStateModifying;
+  if (name == "kRequesterScoped") return SeepClass::kRequesterScoped;
+  return SeepClass::kStateModifying;
+}
+
+}  // namespace
+
+const char* seep_class_name(SeepClass c) {
+  switch (c) {
+    case SeepClass::kNonStateModifying: return "non-state-modifying";
+    case SeepClass::kStateModifying: return "state-modifying";
+    case SeepClass::kRequesterScoped: return "requester-scoped";
+  }
+  return "?";
+}
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kPessimistic: return "pessimistic";
+    case Policy::kEnhanced: return "enhanced";
+    case Policy::kExtended: return "extended";
+  }
+  return "?";
+}
+
+std::map<std::string, int> Report::findings_by_detector() const {
+  std::map<std::string, int> by;
+  for (const Finding& f : findings) ++by[f.detector];
+  return by;
+}
+
+const WindowPrediction* Report::prediction_for(const std::string& server) const {
+  for (const WindowPrediction& p : predictions) {
+    if (p.server == server) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<MsgDef> parse_protocol_enums(const LexedFile& f) {
+  std::vector<MsgDef> out;
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!t[i].is_ident("enum")) continue;
+    std::size_t p = i + 1;
+    if (p < t.size() && (t[p].is_ident("class") || t[p].is_ident("struct"))) ++p;
+    if (p >= t.size() || t[p].kind != Tok::kIdent || !ends_with(t[p].text, "Msg")) continue;
+    const std::string enum_name = t[p].text;
+    std::size_t open = p + 1;
+    while (open < t.size() && !t[open].is("{") && !t[open].is(";")) ++open;
+    if (open >= t.size() || t[open].is(";")) continue;
+    const std::size_t close = match_forward(t, open, "{", "}");
+    for (auto [a, b] : split_args(t, open, close)) {
+      if (a >= b || t[a].kind != Tok::kIdent) continue;
+      MsgDef def;
+      def.name = t[a].text;
+      def.enum_name = enum_name;
+      def.file = f.path;
+      def.line = t[a].line;
+      // `NAME = 0x123`; enumerators in the protocol are always explicit.
+      if (a + 2 < b && t[a + 1].is("=") && t[a + 2].kind == Tok::kNumber) {
+        def.value = static_cast<std::uint32_t>(std::strtoul(t[a + 2].text.c_str(), nullptr, 0));
+      }
+      out.push_back(std::move(def));
+    }
+    i = close;
+  }
+  return out;
+}
+
+std::vector<ClassEntry> parse_classification(const LexedFile& f, std::vector<Finding>& findings) {
+  std::vector<ClassEntry> out;
+  const Tokens& t = f.tokens;
+  std::map<std::string, SeepClass> aliases;  // SM / NSM / RSC ...
+
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    // `const auto X = [seep::]SeepClass::kY;`
+    if (t[i].is_ident("auto") && i + 2 < t.size() && t[i + 1].kind == Tok::kIdent &&
+        t[i + 2].is("=")) {
+      for (std::size_t j = i + 3; j < t.size() && !t[j].is(";"); ++j) {
+        if (t[j].is_ident("SeepClass") && j + 2 < t.size() && t[j + 1].is("::")) {
+          aliases[t[i + 1].text] = seep_class_from_token(t[j + 2].text);
+          break;
+        }
+      }
+      continue;
+    }
+    // `c.set(NAME, CLASS[, replyable])`
+    if (!t[i].is_ident("set") || !t[i + 1].is("(") || i == 0 || !t[i - 1].is(".")) continue;
+    const std::size_t open = i + 1;
+    const std::size_t close = match_forward(t, open, "(", ")");
+    const auto args = split_args(t, open, close);
+    if (args.size() < 2) continue;
+    ClassEntry e;
+    e.file = f.path;
+    e.line = t[i].line;
+    e.msg = t[args[0].first].text;
+
+    // Class argument: an alias identifier or a `SeepClass::kX` expression.
+    const auto [ca, cb] = args[1];
+    bool resolved = false;
+    for (std::size_t j = ca; j < cb; ++j) {
+      if (t[j].is_ident("SeepClass") && j + 2 < cb && t[j + 1].is("::")) {
+        e.cls = seep_class_from_token(t[j + 2].text);
+        resolved = true;
+        break;
+      }
+      auto it = aliases.find(t[j].text);
+      if (t[j].kind == Tok::kIdent && it != aliases.end()) {
+        e.cls = it->second;
+        resolved = true;
+        break;
+      }
+    }
+    if (!resolved) {
+      findings.push_back(Finding{kDetStaleClassEntry, f.path, e.line,
+                                 "cannot resolve SEEP class expression for " + e.msg});
+    }
+    if (args.size() >= 3) {
+      const auto [ra, rb] = args[2];
+      for (std::size_t j = ra; j < rb; ++j) {
+        if (t[j].is_ident("false")) e.replyable = false;
+        if (t[j].is_ident("true")) e.replyable = true;
+      }
+    }
+    out.push_back(std::move(e));
+    i = close;
+  }
+  return out;
+}
+
+std::vector<SendSite> extract_send_sites(const LexedFile& f, const std::string& server) {
+  std::vector<SendSite> out;
+  const Tokens& t = f.tokens;
+  // Local `Message x = [kernel::]make_msg(TYPE...)` / make_reply bindings.
+  // The map is file-wide: variable uses always follow their definition, and
+  // redefinitions overwrite, which matches lexical order closely enough for
+  // straight-line handler code.
+  std::map<std::string, std::string> var_msg;
+
+  auto msg_from_factory = [&](std::size_t id_idx) -> std::string {
+    // id_idx points at `make_msg` / `make_reply`; the type is the first
+    // message constant of the first argument.
+    std::size_t open = id_idx + 1;
+    if (open >= t.size() || !t[open].is("(")) return {};
+    const std::size_t close = match_forward(t, open, "(", ")");
+    const auto args = split_args(t, open, close);
+    if (args.empty()) return {};
+    return first_msg_constant(t, args[0].first, args[0].second);
+  };
+
+  static constexpr std::string_view kEndpointServers[][2] = {
+      {"kPmEp", "pm"}, {"kVmEp", "vm"}, {"kVfsEp", "vfs"},
+      {"kDsEp", "ds"}, {"kRsEp", "rs"}, {"kSysEp", "sys"},
+  };
+
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent) continue;
+
+    // Track Message variable bindings.
+    if (t[i].is("Message") && i + 2 < t.size() && t[i + 1].kind == Tok::kIdent &&
+        t[i + 2].is("=")) {
+      for (std::size_t j = i + 3; j < t.size() && !t[j].is(";"); ++j) {
+        if (t[j].is_ident("make_msg") || t[j].is_ident("make_reply")) {
+          const std::string msg = msg_from_factory(j);
+          if (!msg.empty()) var_msg[t[i + 1].text] = msg;
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Explicit window interaction with a literal class — the idiom for
+    // state changes that leave the data section without a message (e.g.
+    // VFS's filesystem mutations, "a state-modifying SEEP into the
+    // FS/driver domain").
+    if (t[i].is("on_outbound") && t[i + 1].is("(")) {
+      const std::size_t open = i + 1;
+      const std::size_t close = match_forward(t, open, "(", ")");
+      if (close + 1 < t.size() && t[close + 1].is("{")) continue;  // definition
+      for (std::size_t j = open + 1; j < close; ++j) {
+        if (t[j].is_ident("SeepClass") && j + 2 < close && t[j + 1].is("::")) {
+          SendSite site;
+          site.server = server;
+          site.file = f.path;
+          site.line = t[i].line;
+          site.kind = "explicit";
+          site.msg = "<explicit>";
+          site.dst = "<domain>";
+          site.cls = seep_class_from_token(t[j + 2].text);
+          site.classified = true;
+          out.push_back(std::move(site));
+          break;
+        }
+      }
+      i = close;
+      continue;
+    }
+
+    std::string kind;
+    if (t[i].is("seep_call")) kind = "call";
+    if (t[i].is("seep_send")) kind = "send";
+    if (t[i].is("seep_notify")) kind = "notify";
+    if (t[i].is("seep_deferred_reply")) kind = "deferred_reply";
+    if (kind.empty() || !t[i + 1].is("(")) continue;
+    // Skip the wrapper *definitions* (preceded by `void` / `Message` etc.
+    // followed by a parameter list containing `Endpoint dst`): only flag
+    // expression uses — heuristically, a definition is followed by `{`
+    // right after the matching ')'.
+    const std::size_t open = i + 1;
+    const std::size_t close = match_forward(t, open, "(", ")");
+    if (close + 1 < t.size() && t[close + 1].is("{")) continue;
+
+    const auto args = split_args(t, open, close);
+    if (args.empty()) continue;
+
+    SendSite site;
+    site.server = server;
+    site.file = f.path;
+    site.line = t[i].line;
+    site.kind = kind;
+
+    // Destination: first argument.
+    site.dst = "<dynamic>";
+    for (std::size_t j = args[0].first; j < args[0].second; ++j) {
+      for (const auto& [ep, srv] : kEndpointServers) {
+        if (t[j].is_ident(ep)) site.dst = srv;
+      }
+    }
+    if (site.dst == "<dynamic>") {
+      for (std::size_t j = args[0].first; j < args[0].second; ++j) {
+        if (t[j].is_ident("Endpoint")) site.dst = "client";
+      }
+    }
+
+    // Message type: second argument.
+    site.msg = "<dynamic>";
+    if (args.size() >= 2) {
+      const auto [ma, mb] = args[1];
+      bool factory = false;
+      for (std::size_t j = ma; j < mb; ++j) {
+        if (t[j].is_ident("make_msg") || t[j].is_ident("make_reply")) {
+          const std::string msg = msg_from_factory(j);
+          if (!msg.empty()) site.msg = msg;
+          factory = true;
+          break;
+        }
+      }
+      if (!factory) {
+        const std::string direct = first_msg_constant(t, ma, mb);
+        if (!direct.empty()) {
+          site.msg = direct;  // seep_notify(dst, TYPE)
+        } else if (mb - ma >= 1 && t[ma].kind == Tok::kIdent) {
+          // A plain variable (possibly dereferenced: `*reply`).
+          std::size_t va = ma;
+          while (va < mb && t[va].is("*")) ++va;
+          auto it = var_msg.find(t[va].text);
+          if (it != var_msg.end()) site.msg = it->second;
+        }
+      }
+    }
+    out.push_back(std::move(site));
+    i = close;
+  }
+  return out;
+}
+
+void resolve_and_predict(Report& report) {
+  std::set<std::string> known_msgs;
+  for (const MsgDef& m : report.messages) known_msgs.insert(m.name);
+
+  std::map<std::string, const ClassEntry*> table;
+  for (const ClassEntry& e : report.classification) table[e.msg] = &e;
+
+  // Completeness: every protocol message must have an explicit entry, or the
+  // conservative default in seep::Classification::get applies silently.
+  for (const MsgDef& m : report.messages) {
+    if (table.count(m.name) != 0) continue;
+    report.findings.push_back(
+        Finding{kDetUnclassifiedMsg, m.file, m.line,
+                m.name + " (" + m.enum_name +
+                    ") has no entry in build_classification(): it silently falls to the "
+                    "conservative default (state-modifying, replyable)"});
+  }
+  // Staleness: every classification entry must name a live protocol message.
+  for (const ClassEntry& e : report.classification) {
+    if (known_msgs.count(e.msg) != 0) continue;
+    report.findings.push_back(
+        Finding{kDetStaleClassEntry, e.file, e.line,
+                e.msg + " is classified but not defined in any *Msg protocol enum"});
+  }
+
+  // Resolve each site's SEEP class; deferred replies are state-modifying by
+  // construction (ServerCommon::seep_deferred_reply hardwires the class).
+  std::map<std::string, std::set<SeepClass>> classes_by_server;
+  std::set<std::string> edge_keys;
+  for (SendSite& s : report.sites) {
+    if (s.kind == "explicit") {
+      // Class was written literally at the site (window().on_outbound(...)).
+    } else if (s.kind == "deferred_reply") {
+      s.cls = SeepClass::kStateModifying;
+      s.classified = true;
+    } else if (s.msg != "<dynamic>") {
+      auto it = table.find(s.msg);
+      if (it != table.end()) {
+        s.cls = it->second->cls;
+        s.classified = true;
+      } else {
+        s.cls = SeepClass::kStateModifying;  // runtime conservative default
+        report.findings.push_back(
+            Finding{kDetUnclassifiedSend, s.file, s.line,
+                    "send site uses " + s.msg +
+                        " which has no explicit classification entry: the window decision "
+                        "falls to the conservative default"});
+      }
+    } else {
+      // Statically unresolvable non-deferred send: the analyzer cannot
+      // verify its classification.
+      report.findings.push_back(
+          Finding{kDetUnclassifiedSend, s.file, s.line,
+                  "cannot statically resolve the message type of this seep_" + s.kind +
+                      " site; hoist the type into a `Message x = make_msg(TYPE, ...)` binding"});
+    }
+    classes_by_server[s.server].insert(s.cls);
+
+    const std::string key = s.server + "->" + s.dst + ":" + s.msg;
+    if (edge_keys.insert(key).second) {
+      report.edges.push_back(ChannelEdge{s.server, s.dst, s.msg, s.cls});
+    }
+  }
+
+  // Per-policy window predictions.
+  for (const auto& [server, classes] : classes_by_server) {
+    WindowPrediction p;
+    p.server = server;
+    p.classes_used.assign(classes.begin(), classes.end());
+    for (int pi = 0; pi < kNumPolicies; ++pi) {
+      const auto pol = static_cast<Policy>(pi);
+      for (SeepClass c : classes) {
+        if (policy_closes_window(pol, c)) p.may_close_by_seep[pi] = true;
+        if (policy_taints_window(pol, c)) p.may_taint[pi] = true;
+      }
+    }
+    report.predictions.push_back(std::move(p));
+  }
+}
+
+}  // namespace osiris::analyze

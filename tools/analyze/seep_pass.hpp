@@ -1,0 +1,42 @@
+// Pass 2 — SEEP analysis: rebuild the artifacts of the paper's call-site
+// classification pass from the source tree and verify the hand-authored
+// substitution.
+//
+//   * parse every `*Msg` protocol enum (message name -> value);
+//   * parse the hand-authored `build_classification()` table;
+//   * extract all outbound seep_call / seep_send / seep_notify /
+//     seep_deferred_reply sites per server, resolving each site's message
+//     type (inline make_msg, or a local `Message x = make_msg(...)`);
+//   * build the static inter-component channel graph;
+//   * flag message types that would silently fall to the conservative
+//     default in seep::Classification::get (unclassified-msg), send sites
+//     whose type has no explicit entry (unclassified-send), and
+//     classification entries for messages that no longer exist
+//     (stale-class-entry);
+//   * emit per-server, per-policy static recovery-window predictions that
+//     an integration test cross-validates against runtime WindowStats.
+#pragma once
+
+#include <vector>
+
+#include "lexer.hpp"
+#include "model.hpp"
+
+namespace osiris::analyze {
+
+/// Parse `enum [class] <Name>Msg : type { NAME = value, ... }` definitions.
+std::vector<MsgDef> parse_protocol_enums(const LexedFile& f);
+
+/// Parse `c.set(NAME, CLASS[, replyable])` entries plus the local
+/// `const auto SM = SeepClass::k...;` aliases of build_classification().
+std::vector<ClassEntry> parse_classification(const LexedFile& f, std::vector<Finding>& findings);
+
+/// Extract outbound SEEP sites from one server implementation file.
+std::vector<SendSite> extract_send_sites(const LexedFile& f, const std::string& server);
+
+/// Cross-reference sites, enums and the classification: resolves each
+/// site's SEEP class, appends completeness findings, and fills the channel
+/// graph and the per-policy window predictions.
+void resolve_and_predict(Report& report);
+
+}  // namespace osiris::analyze
