@@ -4,23 +4,35 @@
 // under pessimistic / enhanced / extended, plus a small fail-stop
 // survivability comparison between enhanced and extended.
 //
-// Environment: OSIRIS_SAMPLE thins the survivability plan (default 3).
+// Environment: OSIRIS_SAMPLE thins the survivability plan (default 3);
+// OSIRIS_JOBS / --jobs=N shards the campaign (default 1; 0 = all cores).
 #include <cstdio>
 #include <cstdlib>
 
+#include "campaign_cli.hpp"
 #include "support/table_printer.hpp"
+#include "support/worker_pool.hpp"
 #include "workload/campaign.hpp"
 #include "workload/coverage.hpp"
 
 using namespace osiris;
 using namespace osiris::workload;
 
-int main() {
+int main(int argc, char** argv) {
+  CampaignOptions opts;
+  opts.jobs = bench::parse_jobs(argc, argv);
   std::printf("Ablation — recovery-window policy axis\n\n");
 
-  const auto pess = measure_coverage(seep::Policy::kPessimistic);
-  const auto enh = measure_coverage(seep::Policy::kEnhanced);
-  const auto ext = measure_coverage(seep::Policy::kExtended);
+  // The three coverage suites are independent simulators: shard them too.
+  const seep::Policy cov_policies[] = {seep::Policy::kPessimistic, seep::Policy::kEnhanced,
+                                       seep::Policy::kExtended};
+  CoverageReport cov_reports[3];
+  support::WorkerPool::run_indexed(3, opts.jobs, [&](std::size_t i) {
+    cov_reports[i] = measure_coverage(cov_policies[i]);
+  });
+  const auto& pess = cov_reports[0];
+  const auto& enh = cov_reports[1];
+  const auto& ext = cov_reports[2];
 
   TablePrinter cov({"Server", "Pessimistic", "Enhanced", "Extended (SVII)"});
   for (std::size_t i = 0; i < pess.servers.size(); ++i) {
@@ -45,7 +57,7 @@ int main() {
   std::printf("\nfail-stop survivability on a thinned plan (%zu injections):\n\n", plan.size());
   TablePrinter surv({"Policy", "Pass", "Fail", "Shutdown", "Crash"});
   for (auto policy : {seep::Policy::kEnhanced, seep::Policy::kExtended}) {
-    const CampaignTotals t = run_campaign(policy, plan);
+    const CampaignTotals t = run_campaign(policy, plan, opts);
     surv.add_row({seep::policy_name(policy), TablePrinter::pct(t.frac(t.pass)),
                   TablePrinter::pct(t.frac(t.fail)), TablePrinter::pct(t.frac(t.shutdown)),
                   TablePrinter::pct(t.frac(t.crash))});

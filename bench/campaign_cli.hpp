@@ -1,0 +1,30 @@
+// Shared CLI handling for the campaign-driven bench binaries.
+//
+// Every campaign binary accepts `--jobs=N` (or the OSIRIS_JOBS environment
+// variable; the flag wins) to shard its injection plan across N worker
+// threads. N=1 is the serial reference run, N=0 resolves to
+// hardware_concurrency. Output is byte-identical across all N because
+// results are merged in plan order.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+namespace osiris::bench {
+
+inline unsigned parse_jobs(int argc, char** argv, unsigned def = 1) {
+  unsigned jobs = def;
+  if (const char* env = std::getenv("OSIRIS_JOBS")) {
+    jobs = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 10));
+    } else if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return jobs;
+}
+
+}  // namespace osiris::bench

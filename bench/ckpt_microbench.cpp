@@ -13,6 +13,9 @@ using namespace osiris;
 namespace {
 
 void BM_UndoLogRecord(benchmark::State& state) {
+  // Same address every iteration: after the first capture per window this
+  // measures the duplicate-store filter hit path (the loop-heavy-handler
+  // shape the filter exists for).
   ckpt::UndoLog log;
   std::uint64_t cell = 0;
   for (auto _ : state) {
@@ -22,6 +25,23 @@ void BM_UndoLogRecord(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_UndoLogRecord);
+
+void BM_UndoLogRecordDistinct(benchmark::State& state) {
+  // Distinct addresses: every record misses the filter and takes the arena
+  // append path (entry header + old-byte capture in one allocation).
+  ckpt::UndoLog log;
+  std::uint64_t cells[1024] = {};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    log.record(&cells[i], sizeof cells[i]);
+    if (++i == 1024) {
+      i = 0;
+      log.checkpoint();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UndoLogRecordDistinct);
 
 void BM_UndoLogRollback(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -85,6 +105,24 @@ void BM_TableAllocFree(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TableAllocFree);
+
+// Alloc/free cycling in a nearly full table — the fd/proc/inode-table shape
+// on a busy system, where a linear first-free scan pays O(N) per alloc and
+// the free-list head stays O(1).
+void BM_TableAllocNearFull(benchmark::State& state) {
+  ckpt::Context ctx(ckpt::Mode::kWindowOnly);
+  ctx.set_window_open(true);
+  ckpt::Context::Scope scope(&ctx);
+  ckpt::Table<std::uint64_t, 256> table;
+  for (std::size_t i = 0; i < 255; ++i) (void)table.alloc();
+  for (auto _ : state) {
+    const std::size_t i = table.alloc();
+    table.free(i);
+    ctx.log().checkpoint();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableAllocNearFull);
 
 // Restart-phase state transfer at VM scale (the dominant clone copy).
 void BM_StateTransfer(benchmark::State& state) {

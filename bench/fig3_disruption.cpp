@@ -48,7 +48,7 @@ fi::Site* pm_entry_site() {
   }
   fi::Site* best = nullptr;
   for (fi::Site* s : fi::Registry::instance().sites()) {
-    if (std::strcmp(s->tag, "pm") == 0 && (best == nullptr || s->hits > best->hits)) best = s;
+    if (std::strcmp(s->tag, "pm") == 0 && (best == nullptr || s->hits() > best->hits())) best = s;
   }
   OSIRIS_ASSERT(best != nullptr);
   return best;

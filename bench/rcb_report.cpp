@@ -14,8 +14,11 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "campaign_cli.hpp"
 #include "support/table_printer.hpp"
+#include "support/worker_pool.hpp"
 
 #ifndef OSIRIS_SOURCE_DIR
 #define OSIRIS_SOURCE_DIR "."
@@ -35,7 +38,7 @@ std::size_t count_lines(const std::filesystem::path& file) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   namespace fsys = std::filesystem;
   const fsys::path src = fsys::path(OSIRIS_SOURCE_DIR) / "src";
   if (!fsys::exists(src)) {
@@ -49,14 +52,22 @@ int main() {
       {"servers", false}, {"os", false},      {"workload", false}, {"core", false},
   };
 
-  std::map<std::string, std::size_t> loc;
+  // Gather the file list first, then shard the line counting across the
+  // worker pool; the merge is keyed by file index, so the per-subsystem sums
+  // are independent of worker scheduling.
+  std::vector<std::pair<std::string, fsys::path>> files;
   for (const auto& entry : fsys::recursive_directory_iterator(src)) {
     if (!entry.is_regular_file()) continue;
     const auto ext = entry.path().extension();
     if (ext != ".cpp" && ext != ".hpp") continue;
-    const std::string subsystem = entry.path().lexically_relative(src).begin()->string();
-    loc[subsystem] += count_lines(entry.path());
+    files.emplace_back(entry.path().lexically_relative(src).begin()->string(), entry.path());
   }
+  std::vector<std::size_t> counts(files.size(), 0);
+  osiris::support::WorkerPool::run_indexed(
+      files.size(), osiris::bench::parse_jobs(argc, argv),
+      [&](std::size_t i) { counts[i] = count_lines(files[i].second); });
+  std::map<std::string, std::size_t> loc;
+  for (std::size_t i = 0; i < files.size(); ++i) loc[files[i].first] += counts[i];
 
   std::size_t total = 0, rcb = 0;
   osiris::TablePrinter table({"Subsystem", "LOC", "RCB"});

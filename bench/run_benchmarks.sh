@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Run the checkpointing microbenchmarks and record the results as
+# BENCH_ckpt.json at the repository root — the perf trajectory file that CI
+# uploads as an artifact so future PRs can diff hot-path numbers.
+#
+# Usage: bench/run_benchmarks.sh [build-dir] [output-json]
+#   build-dir    cmake build tree containing bench/ckpt_microbench
+#                (default: build)
+#   output-json  where to write the results (default: BENCH_ckpt.json next
+#                to this script's repository root)
+set -eu
+
+script_dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+repo_root=$(dirname -- "$script_dir")
+
+build_dir=${1:-"$repo_root/build"}
+out=${2:-"$repo_root/BENCH_ckpt.json"}
+
+bench_bin="$build_dir/bench/ckpt_microbench"
+if [ ! -x "$bench_bin" ]; then
+  echo "error: $bench_bin not found or not executable." >&2
+  echo "build it first: cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' --target ckpt_microbench" >&2
+  exit 1
+fi
+
+# benchmark_repetitions keeps runs short but smooths scheduler noise;
+# report_aggregates_only keeps the JSON diffable (mean/median/stddev rows).
+"$bench_bin" \
+  --benchmark_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  > "$out"
+
+echo "wrote $out"

@@ -10,16 +10,25 @@
 // DS 47.1/92.8, RS 49.4/50.5; weighted mean 57.7/68.4.
 #include <cstdio>
 
+#include "campaign_cli.hpp"
 #include "support/table_printer.hpp"
+#include "support/worker_pool.hpp"
 #include "workload/coverage.hpp"
 
 using namespace osiris;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Table I — recovery coverage per server (prototype test suite)\n\n");
 
-  const auto pess = workload::measure_coverage(seep::Policy::kPessimistic);
-  const auto enh = workload::measure_coverage(seep::Policy::kEnhanced);
+  // One isolated suite run per policy; with --jobs>1 they run concurrently
+  // (each on its own worker thread/simulator).
+  const seep::Policy policies[] = {seep::Policy::kPessimistic, seep::Policy::kEnhanced};
+  workload::CoverageReport reports[2];
+  support::WorkerPool::run_indexed(2, bench::parse_jobs(argc, argv), [&](std::size_t i) {
+    reports[i] = workload::measure_coverage(policies[i]);
+  });
+  const auto& pess = reports[0];
+  const auto& enh = reports[1];
 
   TablePrinter table({"Server", "Pessimistic", "Enhanced", "Probe hits"});
   double pess_mean = pess.weighted_mean;

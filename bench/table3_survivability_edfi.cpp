@@ -10,16 +10,20 @@
 //   OSIRIS_INJ_PER_SITE  injections per site (default 2)
 //   OSIRIS_SEED          plan seed (default 316)
 //   OSIRIS_SAMPLE        keep only every Nth injection (default 1)
+//   OSIRIS_JOBS / --jobs=N  worker threads (default 1; 0 = all cores)
 #include <cstdio>
 #include <cstdlib>
 
+#include "campaign_cli.hpp"
 #include "support/table_printer.hpp"
 #include "workload/campaign.hpp"
 
 using namespace osiris;
 using namespace osiris::workload;
 
-int main() {
+int main(int argc, char** argv) {
+  CampaignOptions opts;
+  opts.jobs = bench::parse_jobs(argc, argv);
   const int per_site = std::getenv("OSIRIS_INJ_PER_SITE")
                            ? std::atoi(std::getenv("OSIRIS_INJ_PER_SITE"))
                            : 2;
@@ -37,11 +41,12 @@ int main() {
   std::printf("Table III — survivability under full EDFI fault injection\n");
   std::printf("(%zu injections per policy, mixed fault types, seed %llu)\n\n", plan.size(),
               static_cast<unsigned long long>(seed));
+  std::fprintf(stderr, "[table3] %u worker(s)\n", campaign_jobs(opts.jobs));
 
   TablePrinter table({"Recovery mode", "Pass", "Fail", "Shutdown", "Crash"});
   for (auto policy : {seep::Policy::kStateless, seep::Policy::kNaive,
                       seep::Policy::kPessimistic, seep::Policy::kEnhanced}) {
-    const CampaignTotals t = run_campaign(policy, plan);
+    const CampaignTotals t = run_campaign(policy, plan, opts);
     table.add_row({seep::policy_name(policy), TablePrinter::pct(t.frac(t.pass)),
                    TablePrinter::pct(t.frac(t.fail)), TablePrinter::pct(t.frac(t.shutdown)),
                    TablePrinter::pct(t.frac(t.crash))});

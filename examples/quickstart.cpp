@@ -39,7 +39,7 @@ int main() {
   fi::Registry::instance().reset_counts();
   fi::Site* pm_site = nullptr;
   for (fi::Site* s : fi::Registry::instance().sites()) {
-    if (std::strcmp(s->tag, "pm") == 0 && (pm_site == nullptr || s->boot_hits > pm_site->boot_hits)) {
+    if (std::strcmp(s->tag, "pm") == 0 && (pm_site == nullptr || s->boot_hits() > pm_site->boot_hits())) {
       pm_site = s;
     }
   }

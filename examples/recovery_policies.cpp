@@ -42,11 +42,11 @@ void profile_demo() {
   });
   fi::Site* best = nullptr;
   for (fi::Site* s : fi::Registry::instance().sites()) {
-    if (std::strcmp(s->tag, "ds") == 0 && (best == nullptr || s->hits > best->hits)) best = s;
+    if (std::strcmp(s->tag, "ds") == 0 && (best == nullptr || s->hits() > best->hits())) best = s;
   }
-  OSIRIS_ASSERT(best != nullptr && best->hits > 4);
+  OSIRIS_ASSERT(best != nullptr && best->hits() > 4);
   g_site = best;
-  g_trigger_hit = best->hits * 3 / 4;  // well inside the user's loop
+  g_trigger_hit = best->hits() * 3 / 4;  // well inside the user's loop
 }
 
 Result run_under(seep::Policy policy) {

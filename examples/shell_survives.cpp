@@ -36,8 +36,8 @@ int main() {
         // Plant the fault the example is about: PM will crash while handling
         // the *next* fork, before it has talked to any other component.
         for (fi::Site* s : fi::Registry::instance().sites()) {
-          if (std::strcmp(s->tag, "pm") == 0 && s->hits > 0) {
-            fi::Registry::instance().arm(s, fi::FaultType::kNullDeref, s->hits + 2);
+          if (std::strcmp(s->tag, "pm") == 0 && s->hits() > 0) {
+            fi::Registry::instance().arm(s, fi::FaultType::kNullDeref, s->hits() + 2);
             break;
           }
         }

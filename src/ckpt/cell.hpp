@@ -126,6 +126,11 @@ class Str {
 /// shape of every kernel-style object table (process table, fd table, inode
 /// table, ...). Slot indices are stable, which recovery requires: rollback
 /// restores raw bytes at fixed addresses.
+///
+/// Allocation is O(1) via an intrusive free list (LIFO reuse) with a cached
+/// in-use counter. The list links and the counter are themselves recoverable
+/// state: every mutation is logged like the bitmap, so rollback and clone
+/// transfer restore a consistent allocator, never a rebuilt one.
 template <typename T, std::size_t N>
 class Table {
   static_assert(std::is_trivially_copyable_v<T>);
@@ -133,12 +138,12 @@ class Table {
  public:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-  [[nodiscard]] static constexpr std::size_t capacity() noexcept { return N; }
-  [[nodiscard]] std::size_t in_use_count() const noexcept {
-    std::size_t n = 0;
-    for (std::size_t i = 0; i < N; ++i) n += used_[i] ? 1 : 0;
-    return n;
+  constexpr Table() {
+    for (std::size_t i = 0; i < N; ++i) next_free_[i] = i + 1 < N ? i + 1 : npos;
   }
+
+  [[nodiscard]] static constexpr std::size_t capacity() noexcept { return N; }
+  [[nodiscard]] std::size_t in_use_count() const noexcept { return in_use_n_; }
 
   [[nodiscard]] bool in_use(std::size_t i) const noexcept {
     OSIRIS_ASSERT(i < N);
@@ -147,22 +152,29 @@ class Table {
 
   /// Allocate a free slot (value-initialized); npos if the table is full.
   std::size_t alloc() {
-    for (std::size_t i = 0; i < N; ++i) {
-      if (!used_[i]) {
-        Context::log_write(&used_[i], sizeof(bool));
-        used_[i] = true;
-        Context::log_write(&elems_[i], sizeof(T));
-        elems_[i] = T{};
-        return i;
-      }
-    }
-    return npos;
+    const std::size_t i = free_head_;
+    if (i == npos) return npos;
+    Context::log_write(&free_head_, sizeof(free_head_));
+    free_head_ = next_free_[i];
+    Context::log_write(&used_[i], sizeof(bool));
+    used_[i] = true;
+    Context::log_write(&in_use_n_, sizeof(in_use_n_));
+    ++in_use_n_;
+    Context::log_write(&elems_[i], sizeof(T));
+    elems_[i] = T{};
+    return i;
   }
 
   void free(std::size_t i) {
     OSIRIS_ASSERT(i < N && used_[i]);
     Context::log_write(&used_[i], sizeof(bool));
     used_[i] = false;
+    Context::log_write(&next_free_[i], sizeof(next_free_[i]));
+    next_free_[i] = free_head_;
+    Context::log_write(&free_head_, sizeof(free_head_));
+    free_head_ = i;
+    Context::log_write(&in_use_n_, sizeof(in_use_n_));
+    --in_use_n_;
   }
 
   [[nodiscard]] const T& at(std::size_t i) const noexcept {
@@ -195,6 +207,9 @@ class Table {
 
  private:
   bool used_[N]{};
+  std::size_t free_head_ = N > 0 ? 0 : npos;
+  std::size_t next_free_[N]{};  // chained in the constructor
+  std::size_t in_use_n_ = 0;
   T elems_[N]{};
 };
 

@@ -6,41 +6,71 @@
 
 namespace osiris::ckpt {
 
+namespace {
+constexpr std::size_t kInitialArena = 4096;  // entries + data share this
+}  // namespace
+
 UndoLog::UndoLog() : canary_head_(kCanary), canary_tail_(kCanary) {
-  entries_.reserve(64);
-  old_bytes_.reserve(1024);
+  arena_ = std::make_unique<std::byte[]>(kInitialArena);
+  cap_ = kInitialArena;
 }
 
-void UndoLog::record(void* addr, std::size_t len) {
+void UndoLog::grow(std::size_t need_entry_bytes, std::size_t need_data_bytes) {
+  std::size_t cap = cap_;
+  while (cap - (n_entries_ * sizeof(Entry) + data_bytes_) <
+         need_entry_bytes + need_data_bytes) {
+    cap *= 2;
+  }
+  auto next = std::make_unique<std::byte[]>(cap);
+  // Entry headers stay at the front; saved bytes keep their distance from
+  // the arena end, so Entry::end_off needs no fixup.
+  std::memcpy(next.get(), arena_.get(), n_entries_ * sizeof(Entry));
+  std::memcpy(next.get() + cap - data_bytes_, arena_.get() + cap_ - data_bytes_, data_bytes_);
+  arena_ = std::move(next);
+  cap_ = cap;
+}
+
+void UndoLog::record_slow(void* addr, std::size_t len) {
   OSIRIS_ASSERT(len > 0);
-  const auto off = static_cast<std::uint32_t>(old_bytes_.size());
-  old_bytes_.resize(old_bytes_.size() + len);
-  std::memcpy(old_bytes_.data() + off, addr, len);
-  entries_.push_back(Entry{addr, static_cast<std::uint32_t>(len), off});
+  const std::size_t entry_bytes = (n_entries_ + 1) * sizeof(Entry);
+  if (cap_ - data_bytes_ < len || cap_ - data_bytes_ - len < entry_bytes) {
+    grow(sizeof(Entry), len);
+  }
+  data_bytes_ += len;
+  std::memcpy(arena_.get() + cap_ - data_bytes_, addr, len);
+  entries()[n_entries_++] = Entry{addr, static_cast<std::uint32_t>(len),
+                                  static_cast<std::uint32_t>(data_bytes_)};
+
+  FilterSlot& slot = filter_slot(addr);
+  slot.addr = addr;
+  slot.len = static_cast<std::uint32_t>(len);
+  slot.epoch = filter_epoch_;
+
   ++stats_.records;
   stats_.bytes_logged += len;
-  const std::size_t live = live_bytes();
-  if (live > stats_.max_log_bytes) stats_.max_log_bytes = live;
+  live_bytes_ += sizeof(Entry) + len;
+  if (live_bytes_ > stats_.max_log_bytes) stats_.max_log_bytes = live_bytes_;
 }
 
 void UndoLog::rollback() {
   OSIRIS_ASSERT(integrity_ok());
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    std::memcpy(it->addr, old_bytes_.data() + it->data_off, it->len);
+  const Entry* es = entries();
+  for (std::size_t i = n_entries_; i-- > 0;) {
+    std::memcpy(es[i].addr, arena_.get() + cap_ - es[i].end_off, es[i].len);
   }
-  entries_.clear();
-  old_bytes_.clear();
+  n_entries_ = 0;
+  data_bytes_ = 0;
+  live_bytes_ = 0;
+  bump_epoch();
   ++stats_.rollbacks;
 }
 
 void UndoLog::checkpoint() {
-  entries_.clear();
-  old_bytes_.clear();
+  n_entries_ = 0;
+  data_bytes_ = 0;
+  live_bytes_ = 0;
+  bump_epoch();
   ++stats_.checkpoints;
-}
-
-std::size_t UndoLog::live_bytes() const noexcept {
-  return entries_.size() * sizeof(Entry) + old_bytes_.size();
 }
 
 bool UndoLog::integrity_ok() const noexcept {

@@ -7,6 +7,16 @@
 // small amount of work per message, so logs stay tiny and checkpoint
 // creation (log reset) is O(1).
 //
+// Hot-path layout (Table V): entries and saved bytes share ONE arena
+// allocation — entry headers grow from the front, saved old-bytes grow down
+// from the back — so the common record() touches exactly one cache-warm
+// buffer and never allocates. Data offsets are stored as distance from the
+// arena's end, which survives regrowth without fixups. A duplicate-store
+// filter skips re-logging an (addr, len) range already captured since the
+// last checkpoint: undo logs are first-write-wins (rollback replays oldest
+// last), so dropping repeat captures is semantically free and shrinks logs
+// for loop-heavy handlers.
+//
 // The log lives in the Reliable Computing Base. The paper protects it with
 // software fault isolation; we model that with canaries validated on every
 // rollback (a corrupted log would indicate an RCB violation and panics the
@@ -15,13 +25,14 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 namespace osiris::ckpt {
 
 struct UndoLogStats {
   std::uint64_t records = 0;        // total record() calls since boot
   std::uint64_t bytes_logged = 0;   // total bytes captured since boot
+  std::uint64_t duplicate_skips = 0;  // records elided by the first-write filter
   std::size_t max_log_bytes = 0;    // high-water mark of live log size (Table VI)
   std::uint64_t rollbacks = 0;
   std::uint64_t checkpoints = 0;    // reset() calls
@@ -35,7 +46,10 @@ class UndoLog {
   UndoLog& operator=(const UndoLog&) = delete;
 
   /// Record the current contents of [addr, addr+len) for rollback.
-  void record(void* addr, std::size_t len);
+  void record(void* addr, std::size_t len) {
+    if (filter_hit(addr, len)) return;
+    record_slow(addr, len);
+  }
 
   /// Roll back all recorded writes (newest first), leaving the log empty.
   void rollback();
@@ -43,11 +57,12 @@ class UndoLog {
   /// Discard the log: this *is* checkpoint creation at the top of the loop.
   void checkpoint();
 
-  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
-  [[nodiscard]] std::size_t entry_count() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return n_entries_ == 0; }
+  [[nodiscard]] std::size_t entry_count() const noexcept { return n_entries_; }
 
-  /// Live size of the log in bytes (entries + saved data).
-  [[nodiscard]] std::size_t live_bytes() const noexcept;
+  /// Live size of the log in bytes (entries + saved data), tracked
+  /// incrementally — record() never recomputes it.
+  [[nodiscard]] std::size_t live_bytes() const noexcept { return live_bytes_; }
 
   [[nodiscard]] const UndoLogStats& stats() const noexcept { return stats_; }
 
@@ -58,14 +73,62 @@ class UndoLog {
   struct Entry {
     void* addr;
     std::uint32_t len;
-    std::uint32_t data_off;  // offset into old_bytes_
+    std::uint32_t end_off;  // distance from the arena end to the saved bytes
   };
+
+  // Direct-mapped cache of ranges captured since the last checkpoint. A slot
+  // matches only on exact (addr, len) — overlapping-but-different ranges are
+  // still logged — and collisions merely re-log (safe: duplicates are
+  // harmless, rollback applies the oldest capture last). Epoch tagging makes
+  // clearing the filter at checkpoint()/rollback() O(1).
+  struct FilterSlot {
+    void* addr = nullptr;
+    std::uint32_t len = 0;
+    std::uint32_t epoch = 0;
+  };
+  static constexpr std::size_t kFilterSlots = 256;  // power of two
+
+  [[nodiscard]] FilterSlot& filter_slot(void* addr) noexcept {
+    const auto h = reinterpret_cast<std::uintptr_t>(addr);
+    // Mix the low bits a little: recoverable state is word-aligned.
+    return filter_[(h ^ (h >> 7)) & (kFilterSlots - 1)];
+  }
+
+  bool filter_hit(void* addr, std::size_t len) {
+    FilterSlot& slot = filter_slot(addr);
+    if (slot.epoch == filter_epoch_ && slot.addr == addr &&
+        slot.len == static_cast<std::uint32_t>(len)) {
+      ++stats_.duplicate_skips;
+      return true;
+    }
+    return false;
+  }
+
+  void bump_epoch() noexcept {
+    if (++filter_epoch_ == 0) {  // wrapped: stale slots could match epoch 0
+      for (FilterSlot& s : filter_) s = FilterSlot{};
+      filter_epoch_ = 1;
+    }
+  }
+
+  void record_slow(void* addr, std::size_t len);
+  void grow(std::size_t need_entry_bytes, std::size_t need_data_bytes);
+
+  [[nodiscard]] Entry* entries() noexcept { return reinterpret_cast<Entry*>(arena_.get()); }
+  [[nodiscard]] const Entry* entries() const noexcept {
+    return reinterpret_cast<const Entry*>(arena_.get());
+  }
 
   static constexpr std::uint64_t kCanary = 0x05151515'0B51B150ULL;
 
   std::uint64_t canary_head_;
-  std::vector<Entry> entries_;
-  std::vector<std::byte> old_bytes_;
+  std::unique_ptr<std::byte[]> arena_;
+  std::size_t cap_ = 0;         // arena size in bytes
+  std::size_t n_entries_ = 0;   // Entry headers at the arena front
+  std::size_t data_bytes_ = 0;  // saved bytes packed at the arena back
+  std::size_t live_bytes_ = 0;  // == n_entries_ * sizeof(Entry) + data_bytes_
+  std::uint32_t filter_epoch_ = 1;
+  FilterSlot filter_[kFilterSlots];
   UndoLogStats stats_;
   std::uint64_t canary_tail_;
 };

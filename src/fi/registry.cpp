@@ -7,28 +7,68 @@ namespace osiris::fi {
 
 Site::Site(const char* f, int l, const char* t, SiteKind k)
     : file(f), line(l), tag(t), kind(k) {
-  Registry::instance().register_site(this);
+  id = SiteDirectory::instance().register_site(this);
 }
 
+std::uint64_t Site::hits() const { return Registry::instance().hits(this); }
+
+std::uint64_t Site::boot_hits() const { return Registry::instance().boot_hits(this); }
+
+// --- SiteDirectory --------------------------------------------------------
+
+SiteDirectory& SiteDirectory::instance() {
+  static SiteDirectory directory;
+  return directory;
+}
+
+std::uint32_t SiteDirectory::register_site(Site* site) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  sites_.push_back(site);
+  return static_cast<std::uint32_t>(sites_.size() - 1);
+}
+
+std::vector<Site*> SiteDirectory::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sites_;
+}
+
+std::size_t SiteDirectory::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sites_.size();
+}
+
+// --- Registry -------------------------------------------------------------
+
 Registry& Registry::instance() {
-  static Registry registry;
+  // One registry per thread: campaign workers are isolated by construction,
+  // and single-threaded callers (tests, examples, benches) see the classic
+  // process-global behaviour.
+  static thread_local Registry registry;
   return registry;
 }
 
-void Registry::register_site(Site* site) {
-  site->id = next_id_++;
-  sites_.push_back(site);
+Registry::Counts& Registry::slot(const Site* site) const {
+  if (site->id >= counts_.size()) counts_.resize(site->id + 1);
+  return counts_[site->id];
+}
+
+std::uint64_t Registry::hits(const Site* site) const {
+  return site->id < counts_.size() ? counts_[site->id].hits : 0;
+}
+
+std::uint64_t Registry::boot_hits(const Site* site) const {
+  return site->id < counts_.size() ? counts_[site->id].boot_hits : 0;
 }
 
 void Registry::reset_counts() {
-  for (Site* s : sites_) s->hits = 0;
+  counts_.assign(SiteDirectory::instance().size(), Counts{});
   delayed_pending_ = false;
 }
 
 void Registry::mark_boot_complete() {
-  for (Site* s : sites_) {
-    s->boot_hits = s->hits;
-    s->hits = 0;
+  for (Counts& c : counts_) {
+    c.boot_hits = c.hits;
+    c.hits = 0;
   }
   delayed_pending_ = false;
 }
@@ -60,14 +100,14 @@ void Registry::disarm() {
 }
 
 FaultType Registry::on_hit(Site* site) {
-  ++site->hits;
+  const std::uint64_t hits = ++slot(site).hits;
   // Coverage accounting for Table I.
   if (active_.window != nullptr) active_.window->probe_hit();
 
   if (site == periodic_site_) {
-    if (site->hits >= periodic_last_fire_ + periodic_interval_ &&
+    if (hits >= periodic_last_fire_ + periodic_interval_ &&
         active_.window != nullptr && active_.window->is_open()) {
-      periodic_last_fire_ = site->hits;
+      periodic_last_fire_ = hits;
       ++fired_;
       return FaultType::kNullDeref;
     }
@@ -76,12 +116,12 @@ FaultType Registry::on_hit(Site* site) {
 
   if (site != armed_site_) return FaultType::kNone;
 
-  if (delayed_pending_ && site->hits >= trigger_hit_ + delay_) {
+  if (delayed_pending_ && hits >= trigger_hit_ + delay_) {
     delayed_pending_ = false;
     ++fired_;
     return FaultType::kNullDeref;  // the deferred crash of kDelayedCrash
   }
-  if (site->hits != trigger_hit_) return FaultType::kNone;
+  if (hits != trigger_hit_) return FaultType::kNone;
 
   if (armed_type_ == FaultType::kDelayedCrash) {
     delayed_pending_ = true;

@@ -11,11 +11,18 @@
 //   3. injection: when the campaign has armed this site, the probe triggers
 //      the planted fault at the configured execution number.
 //
-// Sites register themselves on first execution via function-local statics,
-// so their identity is stable across the thousands of runs in a campaign.
+// Identity vs. state split (parallel campaigns): a Site is an immutable
+// process-wide *descriptor* — function-local statics register once, under a
+// mutex, with the global SiteDirectory, so identities are stable across the
+// thousands of runs in a campaign and across worker threads. All *mutable*
+// probe state (execution counters, armed-fault state, component attribution)
+// lives in a per-thread Registry, mirroring how ckpt::Context::active_ is
+// thread-scoped: every campaign worker owns a fully isolated simulator, so
+// concurrent injection runs cannot observe each other's counters or faults.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,11 +37,37 @@ struct Site {
   int line;
   const char* tag;    // subsystem tag, e.g. "pm", "vfs"
   SiteKind kind;
-  std::uint64_t id = 0;       // assigned by the registry
-  std::uint64_t hits = 0;     // executions since the last reset
-  std::uint64_t boot_hits = 0;  // executions during boot (excluded candidates)
+  std::uint32_t id = 0;  // dense index assigned by the SiteDirectory
 
   Site(const char* f, int l, const char* t, SiteKind k);
+
+  /// Executions since the last reset — on the *calling thread's* registry.
+  [[nodiscard]] std::uint64_t hits() const;
+  /// Executions during boot (excluded fault candidates), same scoping.
+  [[nodiscard]] std::uint64_t boot_hits() const;
+};
+
+/// Process-global, append-only directory of probe sites. Registration happens
+/// on first execution of each probe, possibly from a campaign worker thread,
+/// so the directory is the one piece of fi:: state that stays shared — and
+/// the only one that needs a lock.
+class SiteDirectory {
+ public:
+  static SiteDirectory& instance();
+
+  std::uint32_t register_site(Site* site);
+
+  /// Stable snapshot of all registered sites (copy taken under the lock:
+  /// workers may be registering late-bound recovery-path probes).
+  [[nodiscard]] std::vector<Site*> snapshot() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  SiteDirectory() = default;
+
+  mutable std::mutex mu_;
+  std::vector<Site*> sites_;
 };
 
 /// Per-component probe attribution, installed by ServerBase around dispatch.
@@ -43,13 +76,23 @@ struct ActiveComponent {
   int endpoint = -1;
 };
 
+/// Per-thread probe runtime: execution counters, attribution, and the armed
+/// injection. `instance()` returns the calling thread's registry, so each
+/// campaign worker (one OS instance per thread) is isolated by construction.
 class Registry {
  public:
+  Registry() = default;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The calling thread's registry (created on first use per thread).
   static Registry& instance();
 
   // --- site management --------------------------------------------------
-  void register_site(Site* site);
-  [[nodiscard]] const std::vector<Site*>& sites() const noexcept { return sites_; }
+  /// Snapshot of the global directory (identities are process-wide even
+  /// though counters are per-thread).
+  [[nodiscard]] static std::vector<Site*> sites() { return SiteDirectory::instance().snapshot(); }
 
   /// Zero all per-run execution counters (called between campaign runs).
   void reset_counts();
@@ -57,6 +100,9 @@ class Registry {
   /// Snapshot current counts into boot_hits and zero them: everything
   /// executed so far is boot-time and excluded from fault candidacy.
   void mark_boot_complete();
+
+  [[nodiscard]] std::uint64_t hits(const Site* site) const;
+  [[nodiscard]] std::uint64_t boot_hits(const Site* site) const;
 
   // --- probe attribution --------------------------------------------------
   void set_active(ActiveComponent ac) noexcept { active_ = ac; }
@@ -86,9 +132,16 @@ class Registry {
   FaultType on_hit(Site* site);
 
  private:
-  Registry() = default;
+  struct Counts {
+    std::uint64_t hits = 0;
+    std::uint64_t boot_hits = 0;
+  };
 
-  std::vector<Site*> sites_;
+  /// Counter slot for `site`, growing the table for late-registered sites.
+  Counts& slot(const Site* site) const;
+
+  // Indexed by Site::id. Mutable so const accessors can lazily grow it.
+  mutable std::vector<Counts> counts_;
   ActiveComponent active_;
   const Site* armed_site_ = nullptr;
   FaultType armed_type_ = FaultType::kNone;
@@ -99,7 +152,6 @@ class Registry {
   std::uint64_t periodic_interval_ = 0;
   std::uint64_t periodic_last_fire_ = 0;
   std::uint64_t fired_ = 0;
-  std::uint64_t next_id_ = 1;
 };
 
 // --- probe implementation functions (called via the macros below) ---------

@@ -1,9 +1,13 @@
 #include "support/log.hpp"
 
+#include <atomic>
+
 namespace osiris::slog {
 namespace {
 
-Level g_threshold = Level::kWarn;
+// Atomic so campaign workers can log concurrently without a data race on the
+// threshold (set once by the main thread, read on every OSIRIS_LOG check).
+std::atomic<Level> g_threshold{Level::kWarn};
 
 const char* level_name(Level level) {
   switch (level) {
@@ -19,12 +23,12 @@ const char* level_name(Level level) {
 
 }  // namespace
 
-Level threshold() noexcept { return g_threshold; }
+Level threshold() noexcept { return g_threshold.load(std::memory_order_relaxed); }
 
-void set_threshold(Level level) noexcept { g_threshold = level; }
+void set_threshold(Level level) noexcept { g_threshold.store(level, std::memory_order_relaxed); }
 
 void logf(Level level, const char* tag, const char* fmt, ...) {
-  if (level < g_threshold) return;
+  if (level < threshold()) return;
   std::fprintf(stderr, "[%s] %-8s ", level_name(level), tag);
   va_list args;
   va_start(args, fmt);

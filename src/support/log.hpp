@@ -1,8 +1,9 @@
 // Minimal leveled logger.
 //
-// The simulator is single-threaded by construction (one host thread runs the
-// kernel, all servers and all fibers cooperatively), so no synchronization is
-// needed. Logging defaults to kWarn so that test suites and benchmarks stay
+// Each simulator instance is single-threaded by construction (one host
+// thread runs its kernel, servers and fibers cooperatively), but parallel
+// campaigns run one instance per worker thread, so the shared threshold is
+// atomic. Logging defaults to kWarn so that test suites and benchmarks stay
 // quiet; examples raise the level to narrate recovery flows.
 #pragma once
 

@@ -1,0 +1,55 @@
+#include "support/worker_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace osiris::support {
+
+unsigned WorkerPool::resolve_jobs(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void WorkerPool::run_indexed(std::size_t n, unsigned jobs,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  jobs = resolve_jobs(jobs);
+  if (jobs > n) jobs = static_cast<unsigned>(n);
+
+  if (jobs <= 1) {
+    // Serial fast path: no threads, no atomics — the --jobs=1 reference run.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(jobs - 1);
+  for (unsigned t = 1; t < jobs; ++t) threads.emplace_back(worker);
+  worker();  // the calling thread is worker 0
+  for (std::thread& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace osiris::support

@@ -1,0 +1,33 @@
+// Sharded worker pool for embarrassingly parallel campaign work.
+//
+// Each worker is one host thread that owns a fully isolated simulator: the
+// fault-injection registry (fi::Registry), the active checkpointing context
+// (ckpt::Context) and the fiber scheduler (cothread) are all thread-scoped,
+// so a worker boots, runs and tears down OS instances without sharing any
+// mutable state with its siblings. Work is distributed by index from an
+// atomic cursor; callers that need deterministic output store results by
+// index and merge after join — the merge order is the plan order, never the
+// completion order, so results are byte-identical to a serial run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace osiris::support {
+
+class WorkerPool {
+ public:
+  /// Resolve a --jobs request: 0 means "one per hardware thread", anything
+  /// else is clamped to [1, n_items] by run_indexed.
+  static unsigned resolve_jobs(unsigned requested);
+
+  /// Run fn(i) for every i in [0, n) across `jobs` threads (the calling
+  /// thread counts as one). Blocks until all items are done. `fn` must not
+  /// touch shared mutable state except through its own synchronization.
+  /// Exceptions escaping `fn` are rethrown on the caller after the join
+  /// (first one wins).
+  static void run_indexed(std::size_t n, unsigned jobs,
+                          const std::function<void(std::size_t)>& fn);
+};
+
+}  // namespace osiris::support

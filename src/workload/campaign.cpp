@@ -1,7 +1,10 @@
 #include "workload/campaign.hpp"
 
+#include <mutex>
+
 #include "os/instance.hpp"
 #include "support/rng.hpp"
+#include "support/worker_pool.hpp"
 #include "workload/suite.hpp"
 
 namespace osiris::workload {
@@ -20,12 +23,14 @@ SuiteResult run_suite_fresh(seep::Policy policy) {
 }  // namespace
 
 std::vector<std::pair<fi::Site*, std::uint64_t>> profile_sites() {
-  fi::Registry::instance().disarm();
-  fi::Registry::instance().reset_counts();
+  fi::Registry& reg = fi::Registry::instance();
+  reg.disarm();
+  reg.reset_counts();
   (void)run_suite_fresh(seep::Policy::kEnhanced);
   std::vector<std::pair<fi::Site*, std::uint64_t>> out;
-  for (fi::Site* s : fi::Registry::instance().sites()) {
-    if (s->hits > 0) out.emplace_back(s, s->hits);
+  for (fi::Site* s : fi::Registry::sites()) {
+    const std::uint64_t hits = reg.hits(s);
+    if (hits > 0) out.emplace_back(s, hits);
   }
   return out;
 }
@@ -76,6 +81,8 @@ std::vector<Injection> plan_edfi(std::uint64_t seed, int injections_per_site) {
 }
 
 RunClass run_one_injection(seep::Policy policy, const Injection& inj) {
+  // The calling thread's registry: each worker owns an isolated probe
+  // runtime, so concurrent injections never see each other's state.
   fi::Registry& reg = fi::Registry::instance();
   reg.disarm();
   reg.reset_counts();
@@ -104,19 +111,42 @@ RunClass run_one_injection(seep::Policy policy, const Injection& inj) {
   return RunClass::kCrash;
 }
 
-CampaignTotals run_campaign(seep::Policy policy, const std::vector<Injection>& plan,
-                            const std::function<void(int, int)>& progress) {
-  CampaignTotals totals;
+unsigned campaign_jobs(unsigned requested) {
+  return support::WorkerPool::resolve_jobs(requested);
+}
+
+std::vector<RunClass> run_plan(seep::Policy policy, const std::vector<Injection>& plan,
+                               const CampaignOptions& opts) {
+  std::vector<RunClass> classes(plan.size(), RunClass::kCrash);
   int done = 0;
-  for (const Injection& inj : plan) {
-    switch (run_one_injection(policy, inj)) {
+  std::mutex progress_mu;
+
+  support::WorkerPool::run_indexed(
+      plan.size(), opts.jobs, [&](std::size_t i) {
+        classes[i] = run_one_injection(policy, plan[i]);
+        if (opts.progress) {
+          // Increment under the same lock as the callback so `done` is
+          // strictly monotonic in call order, not just in total.
+          const std::lock_guard<std::mutex> lock(progress_mu);
+          opts.progress(++done, static_cast<int>(plan.size()));
+        }
+      });
+  return classes;
+}
+
+CampaignTotals run_campaign(seep::Policy policy, const std::vector<Injection>& plan,
+                            const CampaignOptions& opts) {
+  // Merge in plan order (not completion order): totals — and therefore every
+  // table derived from them — are byte-identical across jobs settings.
+  const std::vector<RunClass> classes = run_plan(policy, plan, opts);
+  CampaignTotals totals;
+  for (const RunClass c : classes) {
+    switch (c) {
       case RunClass::kPass: ++totals.pass; break;
       case RunClass::kFail: ++totals.fail; break;
       case RunClass::kShutdown: ++totals.shutdown; break;
       case RunClass::kCrash: ++totals.crash; break;
     }
-    ++done;
-    if (progress) progress(done, static_cast<int>(plan.size()));
   }
   return totals;
 }

@@ -9,6 +9,12 @@
 //   3. each injection runs in a fresh OS instance; the run is classified as
 //      pass / fail / shutdown / crash from the suite result and the
 //      machine's fate.
+//
+// Campaigns are embarrassingly parallel: every injection already boots an
+// isolated simulator, and the probe runtime (fi::Registry) is thread-scoped,
+// so a sharded worker pool replays disjoint slices of the plan concurrently.
+// Results are stored by plan index and merged in plan order after the join,
+// which makes every table byte-identical to a --jobs=1 run.
 #pragma once
 
 #include <functional>
@@ -49,7 +55,9 @@ std::vector<Injection> plan_failstop(int points_per_site = 3);
 /// Draw the full-EDFI plan: a seeded mix of applicable fault types.
 std::vector<Injection> plan_edfi(std::uint64_t seed = 316, int injections_per_site = 2);
 
-/// Run one injection under a policy; returns its classification.
+/// Run one injection under a policy; returns its classification. Touches
+/// only thread-scoped simulator state, so calls may run concurrently on
+/// distinct threads.
 RunClass run_one_injection(seep::Policy policy, const Injection& inj);
 
 struct CampaignTotals {
@@ -62,11 +70,41 @@ struct CampaignTotals {
   [[nodiscard]] double frac(int n) const {
     return total() == 0 ? 0.0 : static_cast<double>(n) / total();
   }
+
+  friend bool operator==(const CampaignTotals& a, const CampaignTotals& b) {
+    return a.pass == b.pass && a.fail == b.fail && a.shutdown == b.shutdown &&
+           a.crash == b.crash;
+  }
 };
 
-/// Apply a whole plan under one policy. `progress` (optional) is invoked
-/// after every run with (done, total).
+struct CampaignOptions {
+  /// Worker threads; 1 = serial reference run, 0 = hardware_concurrency.
+  unsigned jobs = 1;
+  /// Invoked after every completed run with (done, total). Serialized; the
+  /// completion order is nondeterministic for jobs > 1, but `done` is
+  /// monotonic.
+  std::function<void(int, int)> progress;
+};
+
+/// Number of workers a campaign uses for `requested` jobs (0 resolves to
+/// hardware_concurrency) — exposed for benches that print it.
+unsigned campaign_jobs(unsigned requested);
+
+/// Apply a whole plan under one policy and classify every injection.
+/// The returned vector is indexed by plan position regardless of jobs.
+std::vector<RunClass> run_plan(seep::Policy policy, const std::vector<Injection>& plan,
+                               const CampaignOptions& opts = {});
+
+/// run_plan + order-independent merge into per-class totals.
 CampaignTotals run_campaign(seep::Policy policy, const std::vector<Injection>& plan,
-                            const std::function<void(int, int)>& progress = {});
+                            const CampaignOptions& opts = {});
+
+/// Back-compat shim for the (policy, plan, progress) call shape.
+inline CampaignTotals run_campaign(seep::Policy policy, const std::vector<Injection>& plan,
+                                   const std::function<void(int, int)>& progress) {
+  CampaignOptions opts;
+  opts.progress = progress;
+  return run_campaign(policy, plan, opts);
+}
 
 }  // namespace osiris::workload

@@ -16,11 +16,12 @@ using namespace osiris::servers;
 
 namespace {
 
-// Optimization sink for the compute workloads.
-volatile std::uint64_t g_sink;
+// Optimization sink for the compute workloads. Thread-local so concurrent
+// campaign workers running unixbench programs never share a counter.
+thread_local volatile std::uint64_t g_sink;
 
-// Completed-work counter (see ub_last_completed).
-std::uint64_t g_completed = 0;
+// Completed-work counter (see ub_last_completed), same per-worker scoping.
+thread_local std::uint64_t g_completed = 0;
 
 void ub_dhry2reg(ISys&, std::uint64_t iters) {
   // Register-heavy integer work: string-ish byte shuffling and arithmetic,

@@ -2,6 +2,8 @@
 // instrumented state wrappers, and the three instrumentation modes.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "ckpt/cell.hpp"
 #include "ckpt/context.hpp"
 #include "ckpt/undo_log.hpp"
@@ -62,6 +64,85 @@ TEST(UndoLog, CountsOperations) {
   EXPECT_EQ(log.stats().records, 1u);
   EXPECT_EQ(log.stats().rollbacks, 1u);
   EXPECT_EQ(log.stats().checkpoints, 1u);
+}
+
+TEST(UndoLog, DuplicateStoreLoggedOncePerWindow) {
+  // Re-recording an exact (addr, len) range inside one window is elided by
+  // the first-write filter: the log keeps only the oldest capture, which is
+  // the one rollback needs anyway.
+  ckpt::UndoLog log;
+  std::uint64_t v = 1;
+  log.record(&v, sizeof v);
+  v = 2;
+  log.record(&v, sizeof v);
+  v = 3;
+  log.record(&v, sizeof v);
+  v = 4;
+  EXPECT_EQ(log.entry_count(), 1u);
+  EXPECT_EQ(log.stats().duplicate_skips, 2u);
+  log.rollback();
+  EXPECT_EQ(v, 1u);
+}
+
+TEST(UndoLog, OverlappingRangeStillLogged) {
+  // The filter matches exact (addr, len) only: a same-address store of a
+  // different length, or an interior store, must still be captured.
+  ckpt::UndoLog log;
+  char buf[16];
+  std::memset(buf, 'a', sizeof buf);
+  log.record(buf, sizeof buf);
+  std::memset(buf, 'b', sizeof buf);
+  log.record(buf, 8);       // same addr, different len
+  log.record(buf + 4, 4);   // interior range
+  EXPECT_EQ(log.entry_count(), 3u);
+  EXPECT_EQ(log.stats().duplicate_skips, 0u);
+  std::memset(buf, 'c', sizeof buf);
+  log.rollback();  // oldest capture applied last wins
+  for (char c : buf) EXPECT_EQ(c, 'a');
+}
+
+TEST(UndoLog, FilterResetsAtCheckpoint) {
+  // A new window means a new first write: the same range must be re-captured
+  // after checkpoint() so rollback restores the *new* checkpoint's value.
+  ckpt::UndoLog log;
+  std::uint64_t v = 1;
+  log.record(&v, sizeof v);
+  v = 2;
+  log.checkpoint();
+  log.record(&v, sizeof v);
+  v = 3;
+  EXPECT_EQ(log.entry_count(), 1u);
+  log.rollback();
+  EXPECT_EQ(v, 2u);  // the post-checkpoint capture, not the stale 1
+}
+
+TEST(UndoLog, FilterResetsAfterRollback) {
+  ckpt::UndoLog log;
+  std::uint64_t v = 1;
+  log.record(&v, sizeof v);
+  v = 2;
+  log.rollback();
+  log.record(&v, sizeof v);  // must not be treated as a duplicate
+  v = 5;
+  EXPECT_EQ(log.entry_count(), 1u);
+  log.rollback();
+  EXPECT_EQ(v, 1u);
+}
+
+TEST(UndoLog, ArenaGrowthPreservesEntries) {
+  // Push well past the initial arena so entry headers and saved bytes are
+  // both relocated mid-log; every capture must survive the regrow.
+  ckpt::UndoLog log;
+  std::vector<std::uint64_t> cells(4096);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cells[i] = i;
+    log.record(&cells[i], sizeof cells[i]);
+    cells[i] = ~i;
+  }
+  EXPECT_EQ(log.entry_count(), cells.size());
+  EXPECT_TRUE(log.integrity_ok());
+  log.rollback();
+  for (std::size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(cells[i], i);
 }
 
 TEST(UndoLog, IntegrityCanaryOk) {
@@ -251,6 +332,68 @@ TEST(Table, ValueInitializesReusedSlots) {
   const std::size_t again = table.alloc();
   EXPECT_EQ(again, a);
   EXPECT_EQ(table.at(again), 0);
+}
+
+TEST(Table, FreeListReusesLifo) {
+  // The free list is a LIFO stack: the most recently freed slot is handed
+  // out first. Pinning the order keeps allocation traces (and therefore
+  // campaign results) deterministic.
+  ScopedCtx s(ckpt::Mode::kOff);
+  ckpt::Table<int, 8> table;
+  const std::size_t a = table.alloc();  // 0
+  const std::size_t b = table.alloc();  // 1
+  const std::size_t c = table.alloc();  // 2
+  table.free(a);
+  table.free(b);
+  EXPECT_EQ(table.alloc(), b);  // freed last, reused first
+  EXPECT_EQ(table.alloc(), a);
+  EXPECT_EQ(table.alloc(), 3u);  // fresh slots resume past c
+  EXPECT_TRUE(table.in_use(c));
+}
+
+TEST(Table, InUseCountStaysConsistent) {
+  ScopedCtx s(ckpt::Mode::kOff);
+  ckpt::Table<int, 4> table;
+  EXPECT_EQ(table.in_use_count(), 0u);
+  const std::size_t a = table.alloc();
+  const std::size_t b = table.alloc();
+  EXPECT_EQ(table.in_use_count(), 2u);
+  table.free(a);
+  EXPECT_EQ(table.in_use_count(), 1u);
+  table.free(b);
+  EXPECT_EQ(table.in_use_count(), 0u);
+  // Drain the whole table; the cached count must match capacity exactly.
+  for (std::size_t i = 0; i < table.capacity(); ++i) {
+    ASSERT_NE(table.alloc(), decltype(table)::npos);
+  }
+  EXPECT_EQ(table.in_use_count(), table.capacity());
+  EXPECT_EQ(table.alloc(), decltype(table)::npos);
+}
+
+TEST(Table, FreeListRollsBackWithAllocator) {
+  // The free-list links and cached count are recoverable state: after a
+  // rollback the allocator must hand out the SAME slots it would have before
+  // the rolled-back window ran, not a desynced sequence.
+  ScopedCtx s(ckpt::Mode::kAlways);
+  ckpt::Table<int, 8> table;
+  const std::size_t a = table.alloc();
+  const std::size_t b = table.alloc();
+  table.free(a);
+  s.ctx.log().checkpoint();
+
+  // Window: churn the allocator, then crash.
+  const std::size_t r1 = table.alloc();  // reuses a
+  EXPECT_EQ(r1, a);
+  table.free(b);
+  (void)table.alloc();
+  (void)table.alloc();
+  s.ctx.log().rollback();
+
+  EXPECT_EQ(table.in_use_count(), 1u);
+  EXPECT_FALSE(table.in_use(a));
+  EXPECT_TRUE(table.in_use(b));
+  // Replaying the same operations yields the same slots as before the crash.
+  EXPECT_EQ(table.alloc(), a);
 }
 
 TEST(Str, AssignAndRollback) {

@@ -53,7 +53,7 @@ TEST(Metrics, RecoveryCountsAppear) {
       for (int i = 0; i < 20; ++i) sys.getpid();
     });
     for (fi::Site* s : fi::Registry::instance().sites()) {
-      if (std::string_view(s->tag) == "pm" && s->hits > 10) {
+      if (std::string_view(s->tag) == "pm" && s->hits() > 10) {
         site = s;
         break;
       }

@@ -106,10 +106,10 @@ TEST(ExtendedPolicy, TaintedCrashKillsRequesterAndSystemSurvives) {
   // a brk request (the workload is brk-dominated, so most hits qualify).
   fi::Site* site = nullptr;
   for (fi::Site* s : fi::Registry::instance().sites()) {
-    if (std::strcmp(s->tag, "pm") == 0 && (site == nullptr || s->hits > site->hits)) site = s;
+    if (std::strcmp(s->tag, "pm") == 0 && (site == nullptr || s->hits() > site->hits())) site = s;
   }
   ASSERT_NE(site, nullptr);
-  const std::uint64_t trigger = site->hits * 2 / 3;
+  const std::uint64_t trigger = site->hits() * 2 / 3;
   fi::Registry::instance().reset_counts();
 
   os::OsConfig cfg;

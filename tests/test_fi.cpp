@@ -50,16 +50,16 @@ TEST_F(FiFixture, Applicability) {
 TEST_F(FiFixture, HitsCountAndReset) {
   fi::block_probe(block_site());
   fi::block_probe(block_site());
-  EXPECT_EQ(block_site()->hits, 2u);
+  EXPECT_EQ(block_site()->hits(), 2u);
   fi::Registry::instance().reset_counts();
-  EXPECT_EQ(block_site()->hits, 0u);
+  EXPECT_EQ(block_site()->hits(), 0u);
 }
 
 TEST_F(FiFixture, BootHitsAreSeparated) {
   fi::block_probe(block_site());
   fi::Registry::instance().mark_boot_complete();
-  EXPECT_EQ(block_site()->boot_hits, 1u);
-  EXPECT_EQ(block_site()->hits, 0u);
+  EXPECT_EQ(block_site()->boot_hits(), 1u);
+  EXPECT_EQ(block_site()->hits(), 0u);
 }
 
 TEST_F(FiFixture, NullDerefFiresExactlyAtTriggerHit) {

@@ -179,14 +179,14 @@ TEST_P(RecoveryTransparencyP, CompletedRunsLeaveAccountingIntact) {
   }
   std::vector<fi::Site*> candidates;
   for (fi::Site* s : fi::Registry::instance().sites()) {
-    if (s->hits > 0) candidates.push_back(s);
+    if (s->hits() > 0) candidates.push_back(s);
   }
   ASSERT_FALSE(candidates.empty());
 
   // Inject a fail-stop fault at a seeded site/hit and rerun.
   Rng rng(seed * 7919);
   fi::Site* site = candidates[rng.below(candidates.size())];
-  const std::uint64_t trigger = rng.range(1, site->hits);
+  const std::uint64_t trigger = rng.range(1, site->hits());
   fi::Registry::instance().reset_counts();
 
   os::OsConfig cfg;

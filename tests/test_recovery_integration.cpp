@@ -36,7 +36,7 @@ fi::Site* busiest_site(const char* tag, const ISys::ProcBody& body) {
   inst.run(body);
   fi::Site* best = nullptr;
   for (fi::Site* s : fi::Registry::instance().sites()) {
-    if (std::strcmp(s->tag, tag) == 0 && (best == nullptr || s->hits > best->hits)) best = s;
+    if (std::strcmp(s->tag, tag) == 0 && (best == nullptr || s->hits() > best->hits())) best = s;
   }
   return best;
 }
@@ -50,7 +50,7 @@ TEST(RecoveryIntegration, InWindowPmCrashIsErrorVirtualized) {
   };
   fi::Site* site = busiest_site("pm", workload);
   ASSERT_NE(site, nullptr);
-  ASSERT_GT(site->hits, 10u);
+  ASSERT_GT(site->hits(), 10u);
 
   fi::Registry::instance().reset_counts();
   os::OsConfig cfg;

@@ -105,10 +105,10 @@ TEST(Shell, SurvivesComponentRecovery) {
   (void)run_script(script);
   fi::Site* site = nullptr;
   for (fi::Site* s : fi::Registry::instance().sites()) {
-    if (std::strcmp(s->tag, "ds") == 0 && (site == nullptr || s->hits > site->hits)) site = s;
+    if (std::strcmp(s->tag, "ds") == 0 && (site == nullptr || s->hits() > site->hits())) site = s;
   }
   ASSERT_NE(site, nullptr);
-  const std::uint64_t trigger = site->hits / 2;
+  const std::uint64_t trigger = site->hits() / 2;
   fi::Registry::instance().reset_counts();
 
   os::OsConfig cfg;
