@@ -84,6 +84,19 @@ void Registry::arm(const Site* site, FaultType type, std::uint64_t trigger_hit,
   delayed_pending_ = false;
 }
 
+void Registry::arm_persistent(const Site* site, FaultType type, std::uint64_t trigger_hit,
+                              std::uint64_t shots) {
+  OSIRIS_ASSERT(site != nullptr && type != FaultType::kNone && trigger_hit >= 1);
+  OSIRIS_ASSERT(type != FaultType::kDelayedCrash);  // no delay bookkeeping here
+  OSIRIS_ASSERT(applicable(site->kind, type));
+  armed_site_ = site;
+  armed_type_ = type;
+  trigger_hit_ = trigger_hit;
+  persistent_ = true;
+  shots_ = shots;
+  delayed_pending_ = false;
+}
+
 void Registry::arm_periodic_window_crash(const Site* site, std::uint64_t hit_interval) {
   OSIRIS_ASSERT(site != nullptr && hit_interval >= 1);
   periodic_site_ = site;
@@ -95,6 +108,8 @@ void Registry::disarm() {
   armed_site_ = nullptr;
   armed_type_ = FaultType::kNone;
   delayed_pending_ = false;
+  persistent_ = false;
+  shots_ = 0;
   periodic_site_ = nullptr;
   periodic_interval_ = 0;
 }
@@ -115,6 +130,24 @@ FaultType Registry::on_hit(Site* site) {
   }
 
   if (site != armed_site_) return FaultType::kNone;
+
+  if (persistent_) {
+    // Deterministic-bug model: the fault stays in the code path across
+    // recoveries, so it re-fires on every execution from trigger_hit on
+    // (until the optional shot budget drains).
+    if (hits < trigger_hit_) return FaultType::kNone;
+    if (shots_ > 0 && --shots_ == 0) {
+      // N-shot budget drained: this firing is the last one.
+      const FaultType last = armed_type_;
+      armed_site_ = nullptr;
+      armed_type_ = FaultType::kNone;
+      persistent_ = false;
+      ++fired_;
+      return last;
+    }
+    ++fired_;
+    return armed_type_;
+  }
 
   if (delayed_pending_ && hits >= trigger_hit_ + delay_) {
     delayed_pending_ = false;

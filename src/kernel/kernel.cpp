@@ -8,11 +8,21 @@
 
 namespace osiris::kernel {
 
+namespace {
+
+/// Virtual latency of an error-virtualized reply from a quarantined
+/// endpoint. Nonzero on purpose: clients that retry against a parked server
+/// must advance virtual time with every attempt, or the readmission deadline
+/// scheduled on the clock could never be reached.
+constexpr Tick kQuarantineReplyLatency = 5;
+
+}  // namespace
+
 void Kernel::register_server(Endpoint ep, IServer* srv) {
   OSIRIS_ASSERT(srv != nullptr);
   OSIRIS_ASSERT(ep.valid() && ep.value < kFirstUserEndpoint);
   OSIRIS_ASSERT(servers_.find(ep.value) == servers_.end());
-  servers_[ep.value] = ServerSlot{srv, false, false, Message{}};
+  servers_[ep.value] = ServerSlot{srv, false, false, false, Message{}};
 }
 
 Endpoint Kernel::register_client(IClient* cli) {
@@ -52,6 +62,15 @@ Message Kernel::call(Endpoint src, Endpoint dst, Message m) {
   ServerSlot& slot = servers_[dst.value];
   m.sender = src;
   ++stats_.nested_calls;
+
+  if (slot.quarantined) {
+    // Graceful degradation: a call into a parked component fails fast with
+    // an error-virtualized reply instead of blocking the caller forever.
+    // This is what keeps dependent servers' sendrecs from deadlocking while
+    // a crash-looping component sits in quarantine.
+    ++stats_.quarantine_rejects;
+    return make_reply(m.type, E_CRASH);
+  }
 
   if (slot.hung) {
     // Calling a hung server blocks the caller forever: the caller itself is
@@ -209,6 +228,19 @@ bool Kernel::dispatch_pending() {
 
 void Kernel::deliver_to_server(Endpoint dst, const Message& m) {
   ServerSlot& slot = servers_[dst.value];
+  if (slot.quarantined) {
+    ++stats_.quarantine_rejects;
+    if (!is_notify(m.type) && m.sender.valid() && m.sender != kKernelEp) {
+      // Error-virtualize the request after a short virtual delay (see
+      // kQuarantineReplyLatency); notifications and in-flight replies are
+      // simply dropped, like any message to a dead endpoint.
+      const Message reply = make_reply(m.type, E_CRASH);
+      const Endpoint sender = m.sender;
+      clock_.call_after(kQuarantineReplyLatency,
+                        [this, sender, reply] { route_reply(sender, reply); });
+    }
+    return;
+  }
   if (slot.hung) {
     OSIRIS_DEBUG("kernel", "message type=0x%x to hung server %d dropped", m.type, dst.value);
     return;
@@ -303,6 +335,28 @@ void Kernel::recover_hung(Endpoint ep) {
   it->second.hung = false;
   ++stats_.crashes;
   handle_crash(ep, ctx);
+}
+
+void Kernel::quarantine(Endpoint ep) {
+  auto it = servers_.find(ep.value);
+  if (it == servers_.end()) return;
+  it->second.quarantined = true;
+  it->second.hung = false;  // quarantine supersedes any pending hang state
+  OSIRIS_INFO("kernel", "server %d quarantined: sends will be error-virtualized", ep.value);
+}
+
+void Kernel::lift_quarantine(Endpoint ep) {
+  auto it = servers_.find(ep.value);
+  if (it == servers_.end()) return;
+  if (it->second.quarantined) {
+    it->second.quarantined = false;
+    OSIRIS_INFO("kernel", "server %d readmitted from quarantine", ep.value);
+  }
+}
+
+bool Kernel::is_quarantined(Endpoint ep) const {
+  auto it = servers_.find(ep.value);
+  return it != servers_.end() && it->second.quarantined;
 }
 
 void Kernel::request_shutdown(std::string reason) {

@@ -80,6 +80,7 @@ struct KernelStats {
   std::uint64_t replies_to_clients = 0;
   std::uint64_t crashes = 0;
   std::uint64_t hangs = 0;
+  std::uint64_t quarantine_rejects = 0;  // sends error-virtualized at a parked endpoint
   std::uint64_t safecopy_bytes = 0;
   std::uint64_t grants_created = 0;
 };
@@ -156,6 +157,16 @@ class Kernel {
   /// converts the hang into a crash event and runs the recovery pipeline.
   void recover_hung(Endpoint ep);
 
+  // --- quarantine (graceful degradation) --------------------------------
+
+  /// Park a server: until lifted, every send to it is error-virtualized
+  /// (E_CRASH) instead of delivered, so clients and dependent servers keep
+  /// running in degraded mode rather than deadlocking on a crash-looping
+  /// component. Used by the recovery engine's escalation ladder.
+  void quarantine(Endpoint ep);
+  void lift_quarantine(Endpoint ep);
+  [[nodiscard]] bool is_quarantined(Endpoint ep) const;
+
   // --- system lifecycle ---------------------------------------------------
 
   [[nodiscard]] SystemState state() const noexcept { return state_; }
@@ -174,6 +185,7 @@ class Kernel {
   struct ServerSlot {
     IServer* srv = nullptr;
     bool hung = false;
+    bool quarantined = false;
     bool in_dispatch = false;
     Message inflight;
   };

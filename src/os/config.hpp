@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "ckpt/context.hpp"
+#include "recovery/ladder.hpp"
 #include "seep/policy.hpp"
 #include "support/clock.hpp"
 
@@ -24,8 +25,14 @@ struct OsConfig {
   /// Heartbeat sweep interval in virtual ticks; 0 disables heartbeats.
   Tick heartbeat_interval = 400;
 
-  /// Crash-storm bound per component before recovery gives up.
+  /// Recovery budget per component: once exhausted, the escalation ladder
+  /// forces the component straight into quarantine (degraded mode) instead
+  /// of wedging the system.
   std::uint32_t max_recoveries = 8;
+
+  /// Escalation-ladder tuning: crash-loop detection window, backoff curve,
+  /// and quarantine cooldown (see recovery::LadderConfig).
+  recovery::LadderConfig ladder;
 
   // Disk geometry and latency.
   std::size_t disk_blocks = 4096;

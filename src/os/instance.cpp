@@ -135,7 +135,7 @@ void OsInstance::boot() {
 
   if (cfg_.recovery_enabled) {
     engine_ = std::make_unique<recovery::Engine>(*kernel_, classification_, cfg_.policy,
-                                                 cfg_.max_recoveries);
+                                                 cfg_.max_recoveries, cfg_.ladder);
     components_ = {pm_.get(), vm_.get(), vfs_.get(), ds_.get(), rs_.get()};
     for (recovery::Recoverable* c : components_) engine_->register_component(c);
     rs_->attach_engine(engine_.get());
@@ -145,10 +145,10 @@ void OsInstance::boot() {
   // publishes always notify at least one subscriber early in the request.
   ds_->boot_subscribe(kernel::kRsEp, "");
 
-  rs_->monitor(kernel::kPmEp);
-  rs_->monitor(kernel::kVmEp);
-  rs_->monitor(kernel::kVfsEp);
-  rs_->monitor(kernel::kDsEp);
+  for (const kernel::Endpoint ep : {kernel::kPmEp, kernel::kVmEp, kernel::kVfsEp, kernel::kDsEp}) {
+    const bool monitored = rs_->monitor(ep);
+    OSIRIS_ASSERT(monitored);  // boot servers must never lose heartbeat coverage
+  }
   if (cfg_.heartbeat_interval > 0) rs_->start_heartbeats(cfg_.heartbeat_interval);
 
   // Seed the data store with boot facts (consumed by uname and the suite).

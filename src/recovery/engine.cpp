@@ -1,7 +1,9 @@
 #include "recovery/engine.hpp"
 
+#include <algorithm>
 #include <cstring>
 
+#include "servers/protocol.hpp"
 #include "support/common.hpp"
 #include "support/log.hpp"
 
@@ -15,11 +17,13 @@ using kernel::Endpoint;
 using kernel::make_reply;
 
 Engine::Engine(kernel::Kernel& kernel, const seep::Classification& classification,
-               seep::Policy policy, std::uint32_t max_recoveries_per_component)
+               seep::Policy policy, std::uint32_t max_recoveries_per_component,
+               LadderConfig ladder)
     : kernel_(kernel),
       classification_(classification),
       policy_(policy),
-      max_recoveries_(max_recoveries_per_component) {
+      max_recoveries_(max_recoveries_per_component),
+      ladder_(ladder) {
   kernel_.set_crash_handler([this](const CrashContext& ctx) { return on_crash(ctx); });
 }
 
@@ -45,11 +49,35 @@ std::uint32_t Engine::recoveries_of(Endpoint ep) const {
   return it == slots_.end() ? 0 : it->second.recoveries;
 }
 
+bool Engine::is_parked(Endpoint ep) const {
+  auto it = slots_.find(ep.value);
+  return it != slots_.end() && it->second.parked;
+}
+
+std::uint32_t Engine::rung_of(Endpoint ep) const {
+  auto it = slots_.find(ep.value);
+  return it == slots_.end() ? 0 : it->second.rung;
+}
+
 bool Engine::replyable(const CrashContext& ctx) const {
   if (!ctx.had_inflight) return false;
   if (!ctx.inflight.sender.valid() || ctx.inflight.sender == kernel::kKernelEp) return false;
   return classification_.get(ctx.inflight.type & ~kernel::kNotifyBit).replyable &&
          !kernel::is_notify(ctx.inflight.type);
+}
+
+void Engine::record_crash(Slot& slot, Tick now, bool was_hang) {
+  slot.history[slot.history_head] = CrashRecord{now, was_hang};
+  slot.history_head = (slot.history_head + 1) % kHistoryLen;
+  slot.history_len = std::min(slot.history_len + 1, kHistoryLen);
+}
+
+std::uint32_t Engine::crashes_in_window(const Slot& slot, Tick now) const {
+  std::uint32_t n = 0;
+  for (std::size_t i = 0; i < slot.history_len; ++i) {
+    if (now - slot.history[i].when <= ladder_.crash_window_ticks) ++n;
+  }
+  return n;
 }
 
 CrashDecision Engine::on_crash(const CrashContext& ctx) {
@@ -61,16 +89,35 @@ CrashDecision Engine::on_crash(const CrashContext& ctx) {
     return CrashDecision{CrashAction::kGiveUp, {}};
   }
   Slot& slot = it->second;
-  if (++slot.recoveries > max_recoveries_) {
-    OSIRIS_INFO("recovery", "%s exceeded %u recoveries: giving up",
-                std::string(slot.comp->name()).c_str(), max_recoveries_);
-    ++stats_.giveups;
-    return CrashDecision{CrashAction::kGiveUp, {}};
+  const Tick now = kernel_.clock().now();
+  record_crash(slot, now, ctx.was_hang);
+  ++slot.recoveries;
+
+  // Transient vs recurring: the sliding crash-rate window, the probation
+  // period after an earlier escalation, and the recovery budget all feed the
+  // classifier. A crash while parked (only possible when the kernel is not
+  // enforcing the quarantine, e.g. in unit harnesses) is recurring trivially.
+  const bool over_budget = slot.recoveries > max_recoveries_;
+  const bool recurring = slot.parked || over_budget || now < slot.probation_until ||
+                         crashes_in_window(slot, now) >= ladder_.recurring_threshold;
+
+  OSIRIS_INFO("recovery", "component %s crashed (%s): policy=%s window=%s class=%s",
+              std::string(slot.comp->name()).c_str(), ctx.what.c_str(),
+              seep::policy_name(policy_), slot.comp->window().is_open() ? "open" : "closed",
+              recurring ? "recurring" : "transient");
+
+  if (recurring) {
+    ++stats_.recurring_crashes;
+    return escalate(slot, ctx, now);
   }
 
-  OSIRIS_INFO("recovery", "component %s crashed (%s): policy=%s window=%s",
-              std::string(slot.comp->name()).c_str(), ctx.what.c_str(),
-              seep::policy_name(policy_), slot.comp->window().is_open() ? "open" : "closed");
+  ++stats_.transient_crashes;
+  // A genuinely transient crash de-escalates: the ladder position and the
+  // backoff reset, so an isolated fault months of virtual time later starts
+  // from the policy-preferred rung again.
+  slot.rung = 0;
+  slot.stateless_tries = 0;
+  slot.backoff = 0;
 
   switch (policy_) {
     case seep::Policy::kStateless:
@@ -85,6 +132,83 @@ CrashDecision Engine::on_crash(const CrashContext& ctx) {
   OSIRIS_PANIC("unknown policy");
 }
 
+CrashDecision Engine::escalate(Slot& slot, const CrashContext& ctx, Tick now) {
+  Recoverable& comp = *slot.comp;
+  const bool over_budget = slot.recoveries > max_recoveries_;
+
+  if (!over_budget && slot.stateless_tries < ladder_.stateless_attempts) {
+    // Rung 1: microreboot the component, then park it with exponential
+    // backoff so a persistent fault cannot re-fire immediately.
+    slot.rung = 1;
+    ++slot.stateless_tries;
+    ++stats_.ladder_stateless;
+    slot.backoff = slot.backoff == 0
+                       ? ladder_.backoff_base_ticks
+                       : std::min(slot.backoff * 2, ladder_.backoff_cap_ticks);
+  } else {
+    // Rung 2: quarantine. The cooldown keeps doubling but never drops below
+    // the configured quarantine floor. Budget exhaustion lands here directly:
+    // the component degrades instead of wedging the whole system.
+    slot.rung = 2;
+    ++stats_.quarantines;
+    if (over_budget) ++stats_.budget_quarantines;
+    slot.backoff = std::max(ladder_.quarantine_cooldown_ticks,
+                            std::min(slot.backoff * 2, ladder_.backoff_cap_ticks));
+  }
+  OSIRIS_INFO("recovery", "%s crash loop: escalating to rung %u (park %llu ticks, try %u/%u)",
+              std::string(comp.name()).c_str(), slot.rung,
+              static_cast<unsigned long long>(slot.backoff), slot.stateless_tries,
+              ladder_.stateless_attempts);
+
+  // Both rungs discard the possibly fault-damaged state: the component comes
+  // back from its pristine boot image once readmitted.
+  reset_to_boot_image(slot);
+  slot.parked = true;
+  // The probation deadline outlives the park: crashes shortly after
+  // readmission stay classified as recurring even though the sliding window
+  // has slid past the pre-park crash burst.
+  slot.probation_until = now + slot.backoff + ladder_.crash_window_ticks;
+  kernel_.quarantine(comp.endpoint());
+  announce_park(comp.endpoint(), slot.backoff, slot.rung);
+
+  if (replyable(ctx)) {
+    ++stats_.error_replies;
+    return CrashDecision{CrashAction::kErrorReply, make_reply(ctx.inflight.type, E_CRASH)};
+  }
+  return CrashDecision{CrashAction::kNoReply, {}};
+}
+
+void Engine::announce_park(Endpoint ep, Tick cooldown, std::uint32_t rung) {
+  const bool rs_reachable =
+      kernel_.is_server(kernel::kRsEp) && !kernel_.is_quarantined(kernel::kRsEp);
+  if (rs_reachable) {
+    // RS owns the readmission timer and answers the component's heartbeat
+    // slot as "quarantined" until the cooldown expires.
+    kernel_.send(kernel::kKernelEp, kernel::kRsEp,
+                 kernel::make_msg(servers::RS_PARK, static_cast<std::uint64_t>(ep.value),
+                                  cooldown, rung));
+    return;
+  }
+  // RS is absent or is itself the parked component: the RCB arms the
+  // cooldown timer directly so the quarantine cannot become permanent.
+  kernel_.clock().call_after(cooldown, [this, ep] { readmit(ep); });
+}
+
+void Engine::readmit(Endpoint ep) {
+  auto it = slots_.find(ep.value);
+  if (it == slots_.end() || !it->second.parked) return;
+  it->second.parked = false;
+  ++stats_.readmissions;
+  kernel_.lift_quarantine(ep);
+  OSIRIS_INFO("recovery", "%s readmitted after cooldown (rung %u)",
+              std::string(it->second.comp->name()).c_str(), it->second.rung);
+  if (ep != kernel::kRsEp && kernel_.is_server(kernel::kRsEp) &&
+      !kernel_.is_quarantined(kernel::kRsEp)) {
+    kernel_.send(kernel::kKernelEp, kernel::kRsEp,
+                 kernel::make_msg(servers::RS_READMIT, static_cast<std::uint64_t>(ep.value)));
+  }
+}
+
 void Engine::restart_phase(Slot& slot) {
   // Transfer the crashed component's data section into the spare clone; the
   // clone then becomes the live instance. (In the simulator both images share
@@ -94,6 +218,17 @@ void Engine::restart_phase(Slot& slot) {
   std::memcpy(slot.clone_image.data(), slot.comp->data_section(),
               slot.comp->data_section_size());
   ++stats_.restarts;
+}
+
+void Engine::reset_to_boot_image(Slot& slot) {
+  Recoverable& comp = *slot.comp;
+  restart_phase(slot);
+  // Microreboot: fresh initial state; everything the component knew is lost.
+  std::memcpy(comp.data_section(), slot.boot_image.data(), slot.boot_image.size());
+  comp.ckpt_context().log().checkpoint();
+  comp.window().end_of_request();
+  comp.reinitialize();
+  comp.on_restored(/*rolled_back=*/false);
 }
 
 CrashDecision Engine::recover_windowed(Slot& slot, const CrashContext& ctx) {
@@ -144,15 +279,9 @@ CrashDecision Engine::recover_windowed(Slot& slot, const CrashContext& ctx) {
 }
 
 CrashDecision Engine::recover_stateless(Slot& slot, const CrashContext& ctx) {
-  Recoverable& comp = *slot.comp;
-  restart_phase(slot);
+  (void)ctx;
   ++stats_.stateless_restarts;
-  // Microreboot: fresh initial state; everything the component knew is lost.
-  std::memcpy(comp.data_section(), slot.boot_image.data(), slot.boot_image.size());
-  comp.ckpt_context().log().checkpoint();
-  comp.window().end_of_request();
-  comp.reinitialize();
-  comp.on_restored(/*rolled_back=*/false);
+  reset_to_boot_image(slot);
   // Microreboot systems restart the component but have no reconciliation
   // protocol: the in-flight requester is simply never answered. (This is
   // why the paper's stateless column has no "fail" bucket — a pending

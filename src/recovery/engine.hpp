@@ -1,4 +1,5 @@
-// The recovery engine: restart, rollback, reconciliation (paper SIV-C).
+// The recovery engine: restart, rollback, reconciliation (paper SIV-C),
+// plus the escalation ladder for persistent faults.
 //
 // The engine is the heart of the Reliable Computing Base. It is registered
 // as the kernel's crash handler; when a component suffers a fail-stop fault
@@ -18,17 +19,38 @@
 //      (reply E_CRASH to the requester, which also handles persistent
 //      faults), or controlled shutdown when consistency cannot be proven.
 //
+// Error virtualization "also handles persistent faults" only in the sense
+// that the buggy *request* is discarded; a persistent fault in a hot path
+// re-fires on the next request and produces a crash loop. The engine
+// therefore keeps a per-component crash history (virtual-clock timestamps)
+// and classifies every crash as transient or recurring with a sliding-window
+// rate. Recurring crashes walk an escalation ladder instead of repeating the
+// policy-preferred recovery forever:
+//
+//   rung 0  policy-preferred recovery (transient crashes only)
+//   rung 1  stateless restart + exponential-backoff park
+//   rung 2  quarantine: the component is parked for a long cooldown while
+//           the kernel error-virtualizes every send to it — graceful
+//           degradation, not shutdown; unrelated workloads keep running.
+//
+// Parked components are readmitted after their cooldown, normally scheduled
+// on the virtual clock by RS (which also reports the slot as quarantined in
+// heartbeat/status terms); the engine schedules the readmission itself when
+// RS cannot be reached (RS absent, or RS is the parked component).
+//
 // NO fault-injection probes are placed in this module: the paper's fault
 // model assumes the RCB is fault-free, and faults during recovery are
 // excluded by the single-failure assumption.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "kernel/kernel.hpp"
+#include "recovery/ladder.hpp"
 #include "recovery/recoverable.hpp"
 #include "seep/policy.hpp"
 #include "seep/seep.hpp"
@@ -45,14 +67,23 @@ struct EngineStats {
   std::uint64_t stateless_restarts = 0;
   std::uint64_t naive_restarts = 0;
   std::uint64_t requester_kills = 0;  // SVII extended-policy reconciliations
+  // --- escalation ladder -------------------------------------------------
+  std::uint64_t transient_crashes = 0;  // classified below the recurrence rate
+  std::uint64_t recurring_crashes = 0;  // classified as a crash loop
+  std::uint64_t ladder_stateless = 0;   // rung-1 restarts (with backoff park)
+  std::uint64_t quarantines = 0;        // rung-2 escalations
+  std::uint64_t budget_quarantines = 0;  // recovery budget exhausted -> rung 2
+  std::uint64_t readmissions = 0;        // parked components re-admitted
 };
 
 class Engine {
  public:
   /// `max_recoveries_per_component` bounds crash storms: a component that
-  /// keeps dying is eventually declared unrecoverable (the system is wedged).
+  /// exhausts its budget is forced onto the ladder's quarantine rung (the
+  /// system degrades instead of wedging).
   Engine(kernel::Kernel& kernel, const seep::Classification& classification,
-         seep::Policy policy, std::uint32_t max_recoveries_per_component = 8);
+         seep::Policy policy, std::uint32_t max_recoveries_per_component = 8,
+         LadderConfig ladder = {});
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -63,8 +94,14 @@ class Engine {
   /// Kernel crash-handler entry point.
   kernel::CrashDecision on_crash(const kernel::CrashContext& ctx);
 
+  /// Lift a parked component's quarantine after its cooldown expired.
+  /// Invoked from a virtual-clock callback (scheduled by RS, or by the
+  /// engine itself when RS is unreachable); idempotent.
+  void readmit(kernel::Endpoint ep);
+
   [[nodiscard]] seep::Policy policy() const noexcept { return policy_; }
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const LadderConfig& ladder() const noexcept { return ladder_; }
 
   /// Bytes pre-allocated for a component's spare clone (Table VI).
   [[nodiscard]] std::size_t clone_bytes(kernel::Endpoint ep) const;
@@ -72,7 +109,18 @@ class Engine {
   /// Recovery count per component (for diagnostics and tests).
   [[nodiscard]] std::uint32_t recoveries_of(kernel::Endpoint ep) const;
 
+  /// Ladder position per component (for RS status reporting and tests).
+  [[nodiscard]] bool is_parked(kernel::Endpoint ep) const;
+  [[nodiscard]] std::uint32_t rung_of(kernel::Endpoint ep) const;
+
  private:
+  /// One entry of the per-component crash history ring.
+  struct CrashRecord {
+    Tick when = 0;
+    bool was_hang = false;
+  };
+  static constexpr std::size_t kHistoryLen = 8;
+
   struct Slot {
     Recoverable* comp = nullptr;
     /// Spare clone image, pre-allocated at registration (restart phase).
@@ -80,18 +128,36 @@ class Engine {
     /// Pristine boot-time state for stateless restarts.
     std::vector<std::byte> boot_image;
     std::uint32_t recoveries = 0;
+    // --- crash history and ladder position -------------------------------
+    std::array<CrashRecord, kHistoryLen> history{};
+    std::size_t history_head = 0;  // next write position in the ring
+    std::size_t history_len = 0;
+    std::uint32_t stateless_tries = 0;  // rung-1 restarts consumed
+    std::uint32_t rung = 0;             // last ladder rung taken (0/1/2)
+    Tick backoff = 0;                   // current exponential park duration
+    bool parked = false;
+    /// A crash before this deadline counts as recurring even if the sliding
+    /// window has slid past the old crashes — long parks must not launder a
+    /// crash loop back into "transient".
+    Tick probation_until = 0;
   };
 
   kernel::CrashDecision recover_windowed(Slot& slot, const kernel::CrashContext& ctx);
   kernel::CrashDecision recover_stateless(Slot& slot, const kernel::CrashContext& ctx);
   kernel::CrashDecision recover_naive(Slot& slot, const kernel::CrashContext& ctx);
+  kernel::CrashDecision escalate(Slot& slot, const kernel::CrashContext& ctx, Tick now);
   void restart_phase(Slot& slot);
+  void reset_to_boot_image(Slot& slot);
+  void record_crash(Slot& slot, Tick now, bool was_hang);
+  [[nodiscard]] std::uint32_t crashes_in_window(const Slot& slot, Tick now) const;
+  void announce_park(kernel::Endpoint ep, Tick cooldown, std::uint32_t rung);
   [[nodiscard]] bool replyable(const kernel::CrashContext& ctx) const;
 
   kernel::Kernel& kernel_;
   const seep::Classification& classification_;
   seep::Policy policy_;
   std::uint32_t max_recoveries_;
+  LadderConfig ladder_;
   std::unordered_map<std::int32_t, Slot> slots_;
   EngineStats stats_;
 };

@@ -1,0 +1,34 @@
+// Escalation-ladder tuning knobs (crash-loop detection and quarantine).
+//
+// Kept in its own header so OsConfig can embed the struct without pulling in
+// the kernel-facing engine interface.
+#pragma once
+
+#include <cstdint>
+
+#include "support/clock.hpp"
+
+namespace osiris::recovery {
+
+/// Parameters of the engine's escalating recovery ladder. A crash is
+/// *recurring* when the component accumulated `recurring_threshold` crashes
+/// within the trailing `crash_window_ticks` of virtual time (or is still on
+/// probation from an earlier escalation). Recurring crashes walk the ladder:
+/// policy-preferred recovery -> stateless restart with exponential backoff ->
+/// quarantine. Parked components are readmitted after their cooldown.
+struct LadderConfig {
+  /// Sliding window for the crash-rate classifier.
+  Tick crash_window_ticks = 2000;
+  /// Crashes inside the window before the crash counts as recurring.
+  std::uint32_t recurring_threshold = 3;
+  /// Rung-1 stateless restarts granted before escalating to quarantine.
+  std::uint32_t stateless_attempts = 2;
+  /// First rung-1 backoff; doubles on every further escalation.
+  Tick backoff_base_ticks = 250;
+  /// Upper bound for the exponential backoff (rung 1 and rung 2 alike).
+  Tick backoff_cap_ticks = 16000;
+  /// Minimum park duration once a component reaches quarantine (rung 2).
+  Tick quarantine_cooldown_ticks = 4000;
+};
+
+}  // namespace osiris::recovery

@@ -100,6 +100,10 @@ seep::Classification build_classification() {
   c.set(RS_PING, SM, /*replyable=*/false);
   c.set(RS_PONG, SM, /*replyable=*/false);
   c.set(RS_SWEEP, SM, /*replyable=*/false);
+  // Ladder bookkeeping from the RCB: RS records the parked flag and arms the
+  // readmission timer. Fire-and-forget (the RCB never blocks on RS).
+  c.set(RS_PARK, SM, /*replyable=*/false);
+  c.set(RS_READMIT, SM, /*replyable=*/false);
 
   // --- SYS (kernel task) ------------------------------------------------
   c.set(SYS_FORK, SM);

@@ -106,6 +106,9 @@ enum RsMsg : std::uint32_t {
   RS_PING = 0x510,    // notify RS -> server (heartbeat)
   RS_PONG = 0x511,    // notify server -> RS
   RS_SWEEP = 0x520,   // notify (clock -> RS): run the heartbeat sweep
+  RS_PARK = 0x521,    // RCB -> RS: arg0=endpoint arg1=cooldown arg2=rung;
+                      // component quarantined, schedule its readmission
+  RS_READMIT = 0x522, // RCB -> RS: arg0=endpoint; quarantine lifted
 };
 
 // --- SYS: kernel task (privileged operations, part of the RCB) --------------

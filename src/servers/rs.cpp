@@ -8,11 +8,25 @@ using kernel::make_reply;
 using kernel::Message;
 using kernel::OK;
 
-void Rs::monitor(kernel::Endpoint ep) {
+bool Rs::monitor(kernel::Endpoint ep) {
   const std::size_t i = st().comps.alloc();
-  OSIRIS_ASSERT(i != decltype(st().comps)::npos);
+  if (i == decltype(st().comps)::npos) {
+    // Failing loudly matters: a server dropped from heartbeat coverage would
+    // hang undetectably, which is strictly worse than refusing to boot it.
+    OSIRIS_ERROR("rs", "monitor table full (%zu slots): endpoint %d has NO heartbeat coverage",
+                 decltype(st().comps)::capacity(), ep.value);
+    return false;
+  }
   auto& c = st().comps.mutate(i);
   c.ep = ep.value;
+  return true;
+}
+
+std::uint32_t Rs::outstanding_pings() const {
+  std::uint32_t total = 0;
+  st().comps.for_each(
+      [&](std::size_t, const RsCompInfo& c) { total += c.pings_outstanding; });
+  return total;
 }
 
 void Rs::start_heartbeats(Tick interval) {
@@ -37,7 +51,10 @@ void Rs::do_sweep() {
 
   // Round 1: anyone who missed two consecutive pings is declared hung and
   // handed to the recovery engine (hang -> crash conversion, SII-E).
+  // Quarantined components are skipped: they are parked by the ladder, not
+  // hung, and the kernel would drop the ping anyway.
   st().comps.for_each([&](std::size_t i, const RsCompInfo& c) {
+    if (kern().is_quarantined(kernel::Endpoint{c.ep})) return;
     if (FI_BRANCH("rs", c.pings_outstanding >= 2)) {
       st().hangs_detected += 1;
       OSIRIS_INFO("rs", "endpoint %d missed %u pings: recovering", c.ep, c.pings_outstanding);
@@ -57,8 +74,9 @@ void Rs::do_sweep() {
     FI_BLOCK("rs");
   }
 
-  // Round 2: ping everyone for the next sweep.
+  // Round 2: ping everyone (except parked components) for the next sweep.
   st().comps.for_each([&](std::size_t i, const RsCompInfo& c) {
+    if (kern().is_quarantined(kernel::Endpoint{c.ep})) return;
     st().comps.mutate(i).pings_outstanding = c.pings_outstanding + 1;
     seep_notify(kernel::Endpoint{c.ep}, RS_PING);
     st().pings_sent += 1;
@@ -90,16 +108,60 @@ std::optional<Message> Rs::handle(const Message& m) {
       const auto ep = kernel::Endpoint{static_cast<std::int32_t>(m.arg[0])};
       // Scan the monitoring table for liveness info on the queried endpoint.
       std::uint64_t last_pong = 0;
+      std::uint64_t parked = 0;
       st().comps.for_each([&](std::size_t, const RsCompInfo& c) {
         FI_BLOCK("rs");
-        if (c.ep == ep.value) last_pong = c.last_pong_tick;
+        if (c.ep == ep.value) {
+          last_pong = c.last_pong_tick;
+          parked = c.parked;
+        }
       });
       FI_BLOCK("rs");
       Message r = make_reply(m.type, OK);
       r.arg[1] = engine_ != nullptr ? engine_->recoveries_of(ep) : 0;
       r.arg[2] = st().hangs_detected;
       r.arg[3] = last_pong;
+      // The heartbeat slot answers as "quarantined" while the ladder has the
+      // component parked (kernel state is authoritative; the table flag
+      // covers engines without a registered kernel slot).
+      r.arg[4] = (parked != 0 || kern().is_quarantined(ep)) ? 1 : 0;
       return r;
+    }
+
+    case RS_PARK: {
+      // From the RCB: a component was parked by the escalation ladder. Mark
+      // the heartbeat slot quarantined and arm the readmission timer.
+      FI_BLOCK("rs");
+      const auto ep = static_cast<std::int32_t>(m.arg[0]);
+      const Tick cooldown = static_cast<Tick>(m.arg[1]);
+      st().parks_seen += 1;
+      const std::size_t i =
+          st().comps.find([ep](const RsCompInfo& c) { return c.ep == ep; });
+      if (i != decltype(st().comps)::npos) {
+        auto& c = st().comps.mutate(i);
+        c.parked = 1;
+        c.pings_outstanding = 0;  // parked, not hung: stale pings are void
+      }
+      if (engine_ != nullptr) {
+        recovery::Engine* eng = engine_;
+        kern().clock().call_after(cooldown,
+                                  [eng, ep] { eng->readmit(kernel::Endpoint{ep}); });
+      }
+      return std::nullopt;  // fire-and-forget: the RCB never blocks on RS
+    }
+
+    case RS_READMIT: {
+      FI_BLOCK("rs");
+      const auto ep = static_cast<std::int32_t>(m.arg[0]);
+      const std::size_t i =
+          st().comps.find([ep](const RsCompInfo& c) { return c.ep == ep; });
+      if (i != decltype(st().comps)::npos) {
+        auto& c = st().comps.mutate(i);
+        c.parked = 0;
+        c.pings_outstanding = 0;
+        c.last_pong_tick = kern().clock().now();  // grace until the next sweep
+      }
+      return std::nullopt;
     }
 
     case DS_NOTIFY_SUB | kernel::kNotifyBit:

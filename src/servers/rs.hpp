@@ -22,6 +22,7 @@ struct RsCompInfo {
   std::int32_t ep = -1;
   std::uint64_t last_pong_tick = 0;
   std::uint32_t pings_outstanding = 0;
+  std::uint32_t parked = 0;  // quarantined by the engine's escalation ladder
 };
 
 struct RsState {
@@ -29,6 +30,7 @@ struct RsState {
   ckpt::Cell<std::uint64_t> sweeps;
   ckpt::Cell<std::uint64_t> pings_sent;
   ckpt::Cell<std::uint64_t> hangs_detected;
+  ckpt::Cell<std::uint64_t> parks_seen;
 };
 
 class Rs final : public ServerBase<RsState> {
@@ -39,17 +41,27 @@ class Rs final : public ServerBase<RsState> {
     init_state();
   }
 
-  /// Boot: monitor a server with heartbeats.
-  void monitor(kernel::Endpoint ep);
+  /// Boot: monitor a server with heartbeats. Returns false — with a loud
+  /// diagnostic — when the monitoring table is full: a server silently
+  /// missing from heartbeat coverage would turn every hang in it into an
+  /// undetectable wedge.
+  [[nodiscard]] bool monitor(kernel::Endpoint ep);
 
   /// Boot: start the periodic heartbeat sweep (self-notification driven by
   /// the virtual clock).
   void start_heartbeats(Tick interval);
 
-  /// Wire the engine for RS_STATUS reporting (set once at boot).
-  void attach_engine(const recovery::Engine* engine) { engine_ = engine; }
+  /// Wire the engine for RS_STATUS reporting and readmission scheduling
+  /// (set once at boot). Non-const: RS drives readmit() after cooldowns.
+  void attach_engine(recovery::Engine* engine) { engine_ = engine; }
 
   [[nodiscard]] std::uint64_t sweeps() const { return st().sweeps; }
+  [[nodiscard]] std::uint64_t pings_sent() const { return st().pings_sent; }
+  [[nodiscard]] std::uint64_t parks_seen() const { return st().parks_seen; }
+
+  /// Sum of unanswered pings across all monitored slots (tests: heartbeat
+  /// shutdown must not leak outstanding pings).
+  [[nodiscard]] std::uint32_t outstanding_pings() const;
 
  protected:
   std::optional<kernel::Message> handle(const kernel::Message& m) override;
@@ -59,7 +71,7 @@ class Rs final : public ServerBase<RsState> {
   void schedule_next_sweep();
   void do_sweep();
 
-  const recovery::Engine* engine_ = nullptr;
+  recovery::Engine* engine_ = nullptr;
   Tick sweep_interval_ = 0;
 };
 

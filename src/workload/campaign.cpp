@@ -151,4 +151,82 @@ CampaignTotals run_campaign(seep::Policy policy, const std::vector<Injection>& p
   return totals;
 }
 
+// --- recurring-fault campaigns --------------------------------------------
+
+std::vector<Injection> plan_recurring() {
+  std::vector<Injection> plan;
+  for (auto [site, hits] : profile_sites()) {
+    // One persistent bug per site, planted mid-execution so the component
+    // does useful work before the crash loop starts.
+    plan.push_back(Injection{site, fi::FaultType::kNullDeref, 1 + hits / 2});
+  }
+  return plan;
+}
+
+RecurringClass run_one_recurring(seep::Policy policy, const Injection& inj) {
+  fi::Registry& reg = fi::Registry::instance();
+  reg.disarm();
+  reg.reset_counts();
+
+  os::OsConfig cfg;
+  cfg.policy = policy;
+  os::OsInstance inst(cfg);
+  register_suite_programs(inst.programs());
+  inst.boot();
+  reg.arm_persistent(inj.site, inj.type, inj.trigger_hit);
+  const SuiteResult suite = run_suite(inst);
+  reg.disarm();
+
+  // Default config always enables recovery, so the engine exists.
+  const std::uint64_t quarantines = inst.engine().stats().quarantines;
+  switch (suite.outcome) {
+    case os::OsInstance::Outcome::kShutdown:
+      return RecurringClass::kShutdown;
+    case os::OsInstance::Outcome::kCrashed:
+    case os::OsInstance::Outcome::kHung:
+      return RecurringClass::kWedged;
+    case os::OsInstance::Outcome::kCompleted:
+      if (!suite.driver_completed) return RecurringClass::kWedged;
+      // Surviving by quarantine (or with residual failures) is degraded-but-
+      // alive — the machine is up, a component is parked or misbehaving.
+      return (quarantines == 0 && suite.failed == 0) ? RecurringClass::kRecovered
+                                                     : RecurringClass::kDegraded;
+  }
+  return RecurringClass::kWedged;
+}
+
+std::vector<RecurringClass> run_recurring_plan(seep::Policy policy,
+                                               const std::vector<Injection>& plan,
+                                               const CampaignOptions& opts) {
+  std::vector<RecurringClass> classes(plan.size(), RecurringClass::kWedged);
+  int done = 0;
+  std::mutex progress_mu;
+
+  support::WorkerPool::run_indexed(
+      plan.size(), opts.jobs, [&](std::size_t i) {
+        classes[i] = run_one_recurring(policy, plan[i]);
+        if (opts.progress) {
+          const std::lock_guard<std::mutex> lock(progress_mu);
+          opts.progress(++done, static_cast<int>(plan.size()));
+        }
+      });
+  return classes;
+}
+
+RecurringTotals run_recurring_campaign(seep::Policy policy,
+                                       const std::vector<Injection>& plan,
+                                       const CampaignOptions& opts) {
+  const std::vector<RecurringClass> classes = run_recurring_plan(policy, plan, opts);
+  RecurringTotals totals;
+  for (const RecurringClass c : classes) {
+    switch (c) {
+      case RecurringClass::kRecovered: ++totals.recovered; break;
+      case RecurringClass::kDegraded: ++totals.degraded; break;
+      case RecurringClass::kShutdown: ++totals.shutdown; break;
+      case RecurringClass::kWedged: ++totals.wedged; break;
+    }
+  }
+  return totals;
+}
+
 }  // namespace osiris::workload

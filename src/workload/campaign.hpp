@@ -107,4 +107,62 @@ inline CampaignTotals run_campaign(seep::Policy policy, const std::vector<Inject
   return run_campaign(policy, plan, opts);
 }
 
+// --- recurring-fault campaigns (escalation ladder / quarantine) -----------
+//
+// Persistent injections model deterministic bugs: the fault re-fires after
+// every recovery, so the interesting outcome is not pass/fail but how far
+// the escalation ladder had to climb. Survivability buckets:
+//   recovered — suite finished clean and nothing was quarantined;
+//   degraded  — the system survived to the end of the suite, but only by
+//               quarantining a component (or with residual suite failures);
+//   shutdown  — the ladder (or policy) shut the machine down consistently;
+//   wedged    — the run crashed or hung: the worst bucket, the one the
+//               ladder exists to empty.
+enum class RecurringClass : std::uint8_t { kRecovered, kDegraded, kShutdown, kWedged };
+
+[[nodiscard]] constexpr const char* recurring_class_name(RecurringClass c) {
+  switch (c) {
+    case RecurringClass::kRecovered: return "recovered";
+    case RecurringClass::kDegraded: return "degraded";
+    case RecurringClass::kShutdown: return "shutdown";
+    case RecurringClass::kWedged: return "wedged";
+  }
+  return "?";
+}
+
+struct RecurringTotals {
+  int recovered = 0;
+  int degraded = 0;
+  int shutdown = 0;
+  int wedged = 0;
+
+  [[nodiscard]] int total() const { return recovered + degraded + shutdown + wedged; }
+  [[nodiscard]] double frac(int n) const {
+    return total() == 0 ? 0.0 : static_cast<double>(n) / total();
+  }
+
+  friend bool operator==(const RecurringTotals& a, const RecurringTotals& b) {
+    return a.recovered == b.recovered && a.degraded == b.degraded &&
+           a.shutdown == b.shutdown && a.wedged == b.wedged;
+  }
+};
+
+/// Draw the persistent-fault plan: one mid-execution null-deref per
+/// triggered site, armed in persistent mode (re-fires after each recovery).
+std::vector<Injection> plan_recurring();
+
+/// Run one persistent injection under a policy and bucket its fate.
+RecurringClass run_one_recurring(seep::Policy policy, const Injection& inj);
+
+/// Apply a recurring plan; the returned vector is indexed by plan position
+/// regardless of jobs (same determinism contract as run_plan).
+std::vector<RecurringClass> run_recurring_plan(seep::Policy policy,
+                                               const std::vector<Injection>& plan,
+                                               const CampaignOptions& opts = {});
+
+/// run_recurring_plan + order-independent merge into survivability totals.
+RecurringTotals run_recurring_campaign(seep::Policy policy,
+                                       const std::vector<Injection>& plan,
+                                       const CampaignOptions& opts = {});
+
 }  // namespace osiris::workload

@@ -97,6 +97,42 @@ TEST(CampaignParallel, JobsDoNotChangeResults) {
   EXPECT_EQ(totals.total(), static_cast<int>(plan.size()));
 }
 
+TEST(CampaignParallel, RecurringCampaignJobsDoNotChangeResults) {
+  // The recurring (persistent-fault) campaign has the same determinism
+  // contract: survivability buckets merge by plan index, so --jobs=N is
+  // byte-identical to the serial reference.
+  const auto plan = thin(workload::plan_recurring(), 8);
+  ASSERT_GE(plan.size(), 4u) << "thinned plan too small to exercise sharding";
+
+  workload::CampaignOptions serial;
+  serial.jobs = 1;
+  workload::CampaignOptions parallel;
+  parallel.jobs = 4;
+
+  const auto ref = workload::run_recurring_plan(seep::Policy::kEnhanced, plan, serial);
+  const auto par = workload::run_recurring_plan(seep::Policy::kEnhanced, plan, parallel);
+
+  ASSERT_EQ(ref.size(), plan.size());
+  ASSERT_EQ(par.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(ref[i], par[i]) << "injection " << i << " bucketed differently under --jobs=4";
+  }
+
+  const workload::RecurringTotals totals =
+      workload::run_recurring_campaign(seep::Policy::kEnhanced, plan, parallel);
+  workload::RecurringTotals expect;
+  for (const workload::RecurringClass c : ref) {
+    switch (c) {
+      case workload::RecurringClass::kRecovered: ++expect.recovered; break;
+      case workload::RecurringClass::kDegraded: ++expect.degraded; break;
+      case workload::RecurringClass::kShutdown: ++expect.shutdown; break;
+      case workload::RecurringClass::kWedged: ++expect.wedged; break;
+    }
+  }
+  EXPECT_TRUE(totals == expect);
+  EXPECT_EQ(totals.total(), static_cast<int>(plan.size()));
+}
+
 TEST(CampaignParallel, ProgressIsSerializedAndMonotonic) {
   const auto plan = thin(workload::plan_failstop(/*points_per_site=*/1), 6);
   ASSERT_GE(plan.size(), 4u);

@@ -152,18 +152,172 @@ TEST_F(EngineFixture, NaiveRestartKeepsStateButReinitializes) {
   EXPECT_EQ(engine.stats().naive_restarts, 1u);
 }
 
-TEST_F(EngineFixture, CrashStormEndsInGiveUp) {
+TEST_F(EngineFixture, CrashStormQuarantinesInsteadOfGivingUp) {
+  // Pre-ladder, exhausting the recovery budget returned kGiveUp and wedged
+  // the machine. Now the budget forces the quarantine rung: the component is
+  // parked and error-virtualized, the system stays up.
   FakeComponent comp(seep::Policy::kEnhanced, kernel::kPmEp);
   recovery::Engine engine(kern, classification, seep::Policy::kEnhanced,
                           /*max_recoveries_per_component=*/3);
   engine.register_component(&comp);
-  for (int i = 0; i < 3; ++i) {
+  for (int i = 0; i < 6; ++i) {
     comp.begin_request_and_mutate(i);
-    EXPECT_EQ(engine.on_crash(crash_ctx(kernel::kPmEp)).action, CrashAction::kErrorReply);
+    const auto d = engine.on_crash(crash_ctx(kernel::kPmEp));
+    EXPECT_NE(d.action, CrashAction::kGiveUp) << "crash " << i;
+    EXPECT_NE(d.action, CrashAction::kShutdown) << "crash " << i;
   }
+  EXPECT_EQ(engine.stats().giveups, 0u);
+  EXPECT_GE(engine.stats().budget_quarantines, 1u);
+  // No server object is registered on this bare kernel, so the quarantine
+  // flag lives in the engine only; the kernel-side rejection is covered by
+  // the integration tests.
+  EXPECT_TRUE(engine.is_parked(kernel::kPmEp));
+  EXPECT_EQ(engine.rung_of(kernel::kPmEp), 2u);
+}
+
+TEST_F(EngineFixture, SpacedTransientCrashesStayOnPolicyRung) {
+  FakeComponent comp(seep::Policy::kEnhanced, kernel::kPmEp);
+  recovery::Engine engine(kern, classification, seep::Policy::kEnhanced);
+  engine.register_component(&comp);
+  for (int i = 0; i < 5; ++i) {
+    comp.begin_request_and_mutate(i + 1);
+    EXPECT_EQ(engine.on_crash(crash_ctx(kernel::kPmEp)).action, CrashAction::kErrorReply);
+    EXPECT_EQ(engine.rung_of(kernel::kPmEp), 0u);
+    // Isolated faults, far apart in virtual time: always below the rate.
+    clock.spin(engine.ladder().crash_window_ticks + 1);
+  }
+  EXPECT_EQ(engine.stats().transient_crashes, 5u);
+  EXPECT_EQ(engine.stats().recurring_crashes, 0u);
+  EXPECT_EQ(engine.stats().quarantines, 0u);
+  EXPECT_FALSE(engine.is_parked(kernel::kPmEp));
+}
+
+TEST_F(EngineFixture, CrashBurstClimbsLadderToQuarantine) {
+  FakeComponent comp(seep::Policy::kEnhanced, kernel::kPmEp);
+  recovery::Engine engine(kern, classification, seep::Policy::kEnhanced);
+  engine.register_component(&comp);
+
+  // Same-tick burst: crashes 1-2 are transient, crash 3 trips the rate.
+  for (int i = 0; i < 2; ++i) {
+    comp.begin_request_and_mutate(i + 1);
+    engine.on_crash(crash_ctx(kernel::kPmEp));
+    EXPECT_EQ(engine.rung_of(kernel::kPmEp), 0u);
+  }
+  comp.begin_request_and_mutate(41);
+  engine.on_crash(crash_ctx(kernel::kPmEp));  // rung 1, attempt 1
+  EXPECT_EQ(engine.rung_of(kernel::kPmEp), 1u);
+  EXPECT_TRUE(engine.is_parked(kernel::kPmEp));
+  EXPECT_EQ(comp.value(), 0);  // rung 1 is a microreboot: boot image restored
+
+  comp.begin_request_and_mutate(42);
+  engine.on_crash(crash_ctx(kernel::kPmEp));  // rung 1, attempt 2
+  EXPECT_EQ(engine.rung_of(kernel::kPmEp), 1u);
+
+  comp.begin_request_and_mutate(43);
+  engine.on_crash(crash_ctx(kernel::kPmEp));  // attempts exhausted: rung 2
+  EXPECT_EQ(engine.rung_of(kernel::kPmEp), 2u);
+  EXPECT_TRUE(engine.is_parked(kernel::kPmEp));
+  EXPECT_EQ(comp.value(), 0);
+
+  EXPECT_EQ(engine.stats().transient_crashes, 2u);
+  EXPECT_EQ(engine.stats().recurring_crashes, 3u);
+  EXPECT_EQ(engine.stats().ladder_stateless, 2u);
+  EXPECT_EQ(engine.stats().quarantines, 1u);
+  EXPECT_EQ(engine.stats().budget_quarantines, 0u);  // rate-driven, not budget
+}
+
+TEST_F(EngineFixture, ReadmitLiftsParkOnceAndIsIdempotent) {
+  FakeComponent comp(seep::Policy::kEnhanced, kernel::kPmEp);
+  recovery::Engine engine(kern, classification, seep::Policy::kEnhanced);
+  engine.register_component(&comp);
+  for (int i = 0; i < 3; ++i) {
+    comp.begin_request_and_mutate(i + 1);
+    engine.on_crash(crash_ctx(kernel::kPmEp));
+  }
+  ASSERT_TRUE(engine.is_parked(kernel::kPmEp));
+
+  engine.readmit(kernel::kPmEp);
+  EXPECT_FALSE(engine.is_parked(kernel::kPmEp));
+  EXPECT_FALSE(kern.is_quarantined(kernel::kPmEp));
+  EXPECT_EQ(engine.stats().readmissions, 1u);
+  engine.readmit(kernel::kPmEp);  // no-op: not parked
+  EXPECT_EQ(engine.stats().readmissions, 1u);
+}
+
+TEST_F(EngineFixture, ParkWithoutRsIsReadmittedByClockFallback) {
+  // No RS server registered on this kernel: the engine must arm the
+  // readmission timer itself, or the quarantine would be permanent.
+  FakeComponent comp(seep::Policy::kEnhanced, kernel::kPmEp);
+  recovery::Engine engine(kern, classification, seep::Policy::kEnhanced);
+  engine.register_component(&comp);
+  for (int i = 0; i < 3; ++i) {
+    comp.begin_request_and_mutate(i + 1);
+    engine.on_crash(crash_ctx(kernel::kPmEp));
+  }
+  ASSERT_TRUE(engine.is_parked(kernel::kPmEp));
+  ASSERT_TRUE(clock.has_pending());
+  while (engine.is_parked(kernel::kPmEp) && clock.advance_to_next()) {
+  }
+  EXPECT_FALSE(engine.is_parked(kernel::kPmEp));
+  EXPECT_FALSE(kern.is_quarantined(kernel::kPmEp));
+  EXPECT_EQ(engine.stats().readmissions, 1u);
+}
+
+TEST_F(EngineFixture, ProbationKeepsPostReadmitCrashesRecurring) {
+  // Long parks must not launder a crash loop back into "transient": a tiny
+  // rate window with a backoff longer than it would otherwise forget the
+  // pre-park burst entirely.
+  recovery::LadderConfig ladder;
+  ladder.crash_window_ticks = 10;
+  ladder.backoff_base_ticks = 100;
+  FakeComponent comp(seep::Policy::kEnhanced, kernel::kPmEp);
+  recovery::Engine engine(kern, classification, seep::Policy::kEnhanced,
+                          /*max_recoveries_per_component=*/32, ladder);
+  engine.register_component(&comp);
+  for (int i = 0; i < 3; ++i) {
+    comp.begin_request_and_mutate(i + 1);
+    engine.on_crash(crash_ctx(kernel::kPmEp));
+  }
+  ASSERT_EQ(engine.rung_of(kernel::kPmEp), 1u);
+  const auto recurring_before = engine.stats().recurring_crashes;
+
+  // Serve the cooldown, readmit, and crash again: the burst has slid out of
+  // the 10-tick rate window, but probation still classifies it as recurring.
+  clock.spin(100);
+  engine.readmit(kernel::kPmEp);
   comp.begin_request_and_mutate(9);
-  EXPECT_EQ(engine.on_crash(crash_ctx(kernel::kPmEp)).action, CrashAction::kGiveUp);
-  EXPECT_EQ(engine.stats().giveups, 1u);
+  engine.on_crash(crash_ctx(kernel::kPmEp));
+  EXPECT_EQ(engine.stats().recurring_crashes, recurring_before + 1);
+  EXPECT_EQ(engine.rung_of(kernel::kPmEp), 1u);  // second rung-1 attempt
+  EXPECT_TRUE(engine.is_parked(kernel::kPmEp));
+}
+
+TEST_F(EngineFixture, QuarantineOfOneComponentDoesNotStallAnother) {
+  // Satellite regression: giving up on (now: quarantining) one component
+  // must leave every other component's recovery accounting untouched.
+  FakeComponent pm(seep::Policy::kEnhanced, kernel::kPmEp);
+  FakeComponent vm(seep::Policy::kEnhanced, kernel::kVmEp);
+  recovery::Engine engine(kern, classification, seep::Policy::kEnhanced,
+                          /*max_recoveries_per_component=*/2);
+  engine.register_component(&pm);
+  engine.register_component(&vm);
+
+  for (int i = 0; i < 4; ++i) {
+    pm.begin_request_and_mutate(i + 1);
+    engine.on_crash(crash_ctx(kernel::kPmEp));
+  }
+  ASSERT_TRUE(engine.is_parked(kernel::kPmEp));
+  ASSERT_GE(engine.stats().budget_quarantines, 1u);
+
+  // VM crashes once while PM is quarantined: full policy-preferred recovery.
+  vm.begin_request_and_mutate(7);
+  const auto d = engine.on_crash(crash_ctx(kernel::kVmEp, servers::VM_MMAP));
+  EXPECT_EQ(d.action, CrashAction::kErrorReply);
+  EXPECT_EQ(vm.value(), 0);  // rolled back
+  EXPECT_EQ(engine.recoveries_of(kernel::kVmEp), 1u);
+  EXPECT_EQ(engine.recoveries_of(kernel::kPmEp), 4u);  // independent counters
+  EXPECT_FALSE(engine.is_parked(kernel::kVmEp));
+  EXPECT_FALSE(kern.is_quarantined(kernel::kVmEp));
 }
 
 TEST_F(EngineFixture, UnregisteredComponentIsUnrecoverable) {

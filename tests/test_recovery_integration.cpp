@@ -149,8 +149,95 @@ TEST(RecoveryIntegration, HangIsDetectedByHeartbeatAndRecovered) {
     if (ok < 25) sys.exit(1);  // one request may be lost to the hang
   });
   EXPECT_EQ(outcome, OsInstance::Outcome::kCompleted);
+  EXPECT_GE(inst.rs().sweeps(), 1u);  // detection came from the sweep path
   EXPECT_GE(inst.kern().stats().hangs, 1u);
   EXPECT_GE(inst.engine().recoveries_of(kernel::kDsEp), 1u);
+}
+
+TEST(RecoveryIntegration, DisabledHeartbeatsLeaveNoSweepsOrOutstandingPings) {
+  // heartbeat_interval = 0 must mean *no* heartbeat machinery at all: no
+  // sweeps, no pings sent, and — crucially — no outstanding pings leaked
+  // that a later sweep could misread as a hang.
+  FiGuard guard;
+  os::OsConfig cfg;
+  cfg.heartbeat_interval = 0;
+  os::OsInstance inst(cfg);
+  workload::register_suite_programs(inst.programs());
+  inst.boot();
+  const auto outcome = inst.run([](ISys& sys) {
+    for (int i = 0; i < 20; ++i) {
+      sys.ds_publish("quiet.key", static_cast<std::uint64_t>(i));
+      sys.getpid();
+    }
+  });
+  EXPECT_EQ(outcome, OsInstance::Outcome::kCompleted);
+  EXPECT_EQ(inst.rs().sweeps(), 0u);
+  EXPECT_EQ(inst.rs().pings_sent(), 0u);
+  EXPECT_EQ(inst.rs().outstanding_pings(), 0u);
+  EXPECT_EQ(inst.kern().stats().hangs, 0u);
+}
+
+TEST(RecoveryIntegration, MonitorTableOverflowFailsLoudlyNotSilently) {
+  // Boot monitors PM/VM/VFS/DS (4 of 8 slots); the next 4 registrations
+  // succeed, the 9th must be *rejected* — a server silently dropped from
+  // heartbeat coverage would hang undetectably.
+  FiGuard guard;
+  os::OsConfig cfg;
+  os::OsInstance inst(cfg);
+  workload::register_suite_programs(inst.programs());
+  inst.boot();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(inst.rs().monitor(kernel::Endpoint{40 + i})) << "slot " << i;
+  }
+  EXPECT_FALSE(inst.rs().monitor(kernel::Endpoint{50}));  // table is full
+}
+
+TEST(RecoveryIntegration, PersistentFaultClimbsLadderToQuarantineAndSystemSurvives) {
+  // The tentpole end-to-end: a deterministic bug in DS re-fires after every
+  // recovery. The flat policy would either crash-loop forever or wedge; the
+  // ladder retries, backs off, and finally quarantines DS — while the
+  // workload (and unrelated VFS service) runs to completion.
+  FiGuard guard;
+  const auto workload = [](ISys& sys) {
+    for (int i = 0; i < 30; ++i) sys.ds_publish("ladder.key", 1);
+  };
+  fi::Site* site = busiest_site("ds", workload);
+  ASSERT_NE(site, nullptr);
+
+  fi::Registry::instance().reset_counts();
+  os::OsConfig cfg;
+  cfg.ladder.backoff_base_ticks = 50;  // short parks keep the test quick
+  cfg.ladder.quarantine_cooldown_ticks = 100000;  // stays quarantined to the end
+  os::OsInstance inst(cfg);
+  workload::register_suite_programs(inst.programs());
+  inst.boot();
+  fi::Registry::instance().arm_persistent(site, fi::FaultType::kNullDeref, 2);
+  int ds_failures = 0;
+  int vfs_ok = 0;
+  const auto outcome = inst.run([&](ISys& sys) {
+    for (int i = 0; i < 120; ++i) {
+      if (sys.ds_publish("ladder.key", static_cast<std::uint64_t>(i)) != kernel::OK) {
+        ++ds_failures;
+      }
+    }
+    // Unrelated service must be untouched by DS's quarantine (degraded
+    // mode, not shutdown): the shell-style VFS path still works.
+    for (int i = 0; i < 10; ++i) {
+      os::StatResult st{};
+      if (sys.stat("/bin/true", &st) == kernel::OK) ++vfs_ok;
+    }
+  });
+  EXPECT_EQ(outcome, OsInstance::Outcome::kCompleted);
+  const auto& stats = inst.engine().stats();
+  EXPECT_GE(stats.recurring_crashes, 1u);
+  EXPECT_GE(stats.ladder_stateless, 1u);  // rung 1 was tried first...
+  EXPECT_GE(stats.quarantines, 1u);       // ...then rung 2 took over
+  EXPECT_EQ(stats.giveups, 0u);
+  EXPECT_TRUE(inst.engine().is_parked(kernel::kDsEp));
+  EXPECT_TRUE(inst.kern().is_quarantined(kernel::kDsEp));
+  EXPECT_GT(inst.kern().stats().quarantine_rejects, 0u);
+  EXPECT_GT(ds_failures, 0);  // degraded: DS calls fail fast with E_CRASH
+  EXPECT_EQ(vfs_ok, 10);      // alive: everything else is fully served
 }
 
 TEST(RecoveryIntegration, VfsWorkerCrashGetsThreadFixup) {

@@ -102,7 +102,8 @@ struct Json {
 
 Report analyze_tree(const std::string& root) {
   const fs::path base(root);
-  const fs::path dirs[] = {base / "src" / "servers", base / "src" / "fs", base / "src" / "os"};
+  const fs::path dirs[] = {base / "src" / "servers", base / "src" / "fs", base / "src" / "os",
+                           base / "src" / "recovery"};
   if (!fs::is_directory(dirs[0])) {
     throw std::runtime_error("not an osiris tree (missing src/servers under " + root + ")");
   }
@@ -144,6 +145,14 @@ Report analyze_tree(const std::string& root) {
     }
     if (server != nullptr) {
       auto sites = extract_send_sites(f, server);
+      report.sites.insert(report.sites.end(), sites.begin(), sites.end());
+    }
+    // The recovery engine is RCB code: it legitimately uses raw kernel IPC
+    // (no seep_* wrappers, no window — the RCB is assumed fault-free), but
+    // its channels to RS (park/readmit announcements) still belong in the
+    // channel graph and must resolve against the classification.
+    if (server == nullptr && f.path.find("src/recovery/") != std::string::npos) {
+      auto sites = extract_rcb_send_sites(f);
       report.sites.insert(report.sites.end(), sites.begin(), sites.end());
     }
   }

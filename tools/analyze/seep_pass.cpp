@@ -336,6 +336,69 @@ std::vector<SendSite> extract_send_sites(const LexedFile& f, const std::string& 
   return out;
 }
 
+std::vector<SendSite> extract_rcb_send_sites(const LexedFile& f) {
+  std::vector<SendSite> out;
+  const Tokens& t = f.tokens;
+
+  static constexpr std::string_view kEndpointServers[][2] = {
+      {"kPmEp", "pm"}, {"kVmEp", "vm"}, {"kVfsEp", "vfs"},
+      {"kDsEp", "ds"}, {"kRsEp", "rs"}, {"kSysEp", "sys"},
+  };
+
+  for (std::size_t i = 2; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || (!t[i].is("send") && !t[i].is("notify"))) continue;
+    if (!t[i + 1].is("(")) continue;
+    // Receiver must be the kernel reference: `kernel_.send(...)`.
+    if (!t[i - 1].is(".") || !t[i - 2].is_ident("kernel_")) continue;
+    const std::size_t open = i + 1;
+    const std::size_t close = match_forward(t, open, "(", ")");
+    const auto args = split_args(t, open, close);
+    if (args.size() < 2) continue;
+
+    SendSite site;
+    site.server = "rcb";
+    site.file = f.path;
+    site.line = t[i].line;
+    site.kind = "rcb";
+
+    // Kernel::send(src, dst, msg) / Kernel::notify(src, dst, type): the
+    // destination is the first named server endpoint among the arguments
+    // (src is kKernelEp, which has no server mapping).
+    site.dst = "<dynamic>";
+    for (std::size_t j = open + 1; j < close && site.dst == "<dynamic>"; ++j) {
+      for (const auto& [ep, srv] : kEndpointServers) {
+        if (t[j].is_ident(ep)) site.dst = srv;
+      }
+    }
+
+    site.msg = "<dynamic>";
+    for (std::size_t j = open + 1; j < close; ++j) {
+      if (t[j].is_ident("make_msg") || t[j].is_ident("make_reply")) {
+        std::size_t f_open = j + 1;
+        if (f_open < t.size() && t[f_open].is("(")) {
+          const std::size_t f_close = match_forward(t, f_open, "(", ")");
+          const auto f_args = split_args(t, f_open, f_close);
+          if (!f_args.empty()) {
+            const std::string msg = first_msg_constant(t, f_args[0].first, f_args[0].second);
+            if (!msg.empty()) site.msg = msg;
+          }
+        }
+        break;
+      }
+    }
+    if (site.msg == "<dynamic>") {
+      // notify(src, dst, TYPE): the type is the last argument directly.
+      const auto [ma, mb] = args.back();
+      const std::string direct = first_msg_constant(t, ma, mb);
+      if (!direct.empty()) site.msg = direct;
+    }
+    if (site.msg == "<dynamic>" || site.dst == "<dynamic>") continue;  // reply plumbing etc.
+    out.push_back(std::move(site));
+    i = close;
+  }
+  return out;
+}
+
 void resolve_and_predict(Report& report) {
   std::set<std::string> known_msgs;
   for (const MsgDef& m : report.messages) known_msgs.insert(m.name);
@@ -392,7 +455,9 @@ void resolve_and_predict(Report& report) {
                   "cannot statically resolve the message type of this seep_" + s.kind +
                       " site; hoist the type into a `Message x = make_msg(TYPE, ...)` binding"});
     }
-    classes_by_server[s.server].insert(s.cls);
+    // RCB sites have no recovery window, so they contribute channel edges
+    // but must not generate window predictions for a pseudo-server "rcb".
+    if (s.server != "rcb") classes_by_server[s.server].insert(s.cls);
 
     const std::string key = s.server + "->" + s.dst + ":" + s.msg;
     if (edge_keys.insert(key).second) {
