@@ -37,6 +37,13 @@ class Context {
   [[nodiscard]] UndoLog& log() noexcept { return log_; }
   [[nodiscard]] const UndoLog& log() const noexcept { return log_; }
 
+  /// Trace attribution for the owning component (see UndoLog::set_trace_id).
+  void set_trace_id(std::int32_t comp) noexcept {
+    trace_id_ = comp;
+    log_.set_trace_id(comp);
+  }
+  [[nodiscard]] std::int32_t trace_id() const noexcept { return trace_id_; }
+
   /// Recovery-window state, maintained by seep::Window.
   [[nodiscard]] bool window_open() const noexcept { return window_open_; }
   void set_window_open(bool open) noexcept { window_open_ = open; }
@@ -71,6 +78,7 @@ class Context {
  private:
   Mode mode_;
   bool window_open_ = false;
+  std::int32_t trace_id_ = -1;
   UndoLog log_;
 
   inline static thread_local Context* active_ = nullptr;

@@ -69,6 +69,11 @@ class UndoLog {
   /// SFI-style integrity check of the log's guard canaries.
   [[nodiscard]] bool integrity_ok() const noexcept;
 
+  /// Trace attribution: the owning component's endpoint, or -1 for logs used
+  /// standalone (tests, microbenchmarks), whose events are not recorded.
+  void set_trace_id(std::int32_t comp) noexcept { trace_id_ = comp; }
+  [[nodiscard]] std::int32_t trace_id() const noexcept { return trace_id_; }
+
  private:
   struct Entry {
     void* addr;
@@ -76,41 +81,50 @@ class UndoLog {
     std::uint32_t end_off;  // distance from the arena end to the saved bytes
   };
 
-  // Direct-mapped cache of ranges captured since the last checkpoint. A slot
-  // matches only on exact (addr, len) — overlapping-but-different ranges are
-  // still logged — and collisions merely re-log (safe: duplicates are
-  // harmless, rollback applies the oldest capture last). Epoch tagging makes
-  // clearing the filter at checkpoint()/rollback() O(1).
+  // Exact first-write filter: an open-addressed, linearly-probed table of
+  // the (addr, len) ranges captured since the last checkpoint. A match is
+  // exact (addr, len) only — overlapping-but-different ranges are still
+  // logged. Exactness is a determinism requirement, not just a space trade:
+  // a lossy cache's outcome would depend on which address *values* collide,
+  // and heap layout varies run to run, whereas entry counts (and therefore
+  // the event trace) must depend only on the logical store sequence. Epoch
+  // tagging makes clearing at checkpoint()/rollback() O(1); the table
+  // doubles once half full, so probe chains stay short and every lookup
+  // terminates at a free (stale-epoch) slot.
   struct FilterSlot {
     void* addr = nullptr;
     std::uint32_t len = 0;
     std::uint32_t epoch = 0;
   };
-  static constexpr std::size_t kFilterSlots = 256;  // power of two
+  static constexpr std::size_t kFilterSlots = 256;  // initial size, power of two
 
-  [[nodiscard]] FilterSlot& filter_slot(void* addr) noexcept {
+  [[nodiscard]] std::size_t filter_index(void* addr) const noexcept {
     const auto h = reinterpret_cast<std::uintptr_t>(addr);
     // Mix the low bits a little: recoverable state is word-aligned.
-    return filter_[(h ^ (h >> 7)) & (kFilterSlots - 1)];
+    return (h ^ (h >> 7)) & (filter_cap_ - 1);
   }
 
   bool filter_hit(void* addr, std::size_t len) {
-    FilterSlot& slot = filter_slot(addr);
-    if (slot.epoch == filter_epoch_ && slot.addr == addr &&
-        slot.len == static_cast<std::uint32_t>(len)) {
-      ++stats_.duplicate_skips;
-      return true;
+    for (std::size_t i = filter_index(addr);; i = (i + 1) & (filter_cap_ - 1)) {
+      const FilterSlot& slot = filter_[i];
+      if (slot.epoch != filter_epoch_) return false;  // free slot: not captured
+      if (slot.addr == addr && slot.len == static_cast<std::uint32_t>(len)) {
+        ++stats_.duplicate_skips;
+        return true;
+      }
     }
-    return false;
   }
 
   void bump_epoch() noexcept {
+    filter_live_ = 0;
     if (++filter_epoch_ == 0) {  // wrapped: stale slots could match epoch 0
-      for (FilterSlot& s : filter_) s = FilterSlot{};
+      for (std::size_t i = 0; i < filter_cap_; ++i) filter_[i] = FilterSlot{};
       filter_epoch_ = 1;
     }
   }
 
+  void filter_insert(void* addr, std::size_t len);
+  void grow_filter();
   void record_slow(void* addr, std::size_t len);
   void grow(std::size_t need_entry_bytes, std::size_t need_data_bytes);
 
@@ -128,7 +142,10 @@ class UndoLog {
   std::size_t data_bytes_ = 0;  // saved bytes packed at the arena back
   std::size_t live_bytes_ = 0;  // == n_entries_ * sizeof(Entry) + data_bytes_
   std::uint32_t filter_epoch_ = 1;
-  FilterSlot filter_[kFilterSlots];
+  std::int32_t trace_id_ = -1;
+  std::unique_ptr<FilterSlot[]> filter_;
+  std::size_t filter_cap_ = kFilterSlots;
+  std::size_t filter_live_ = 0;  // inserts since the last epoch bump
   UndoLogStats stats_;
   std::uint64_t canary_tail_;
 };

@@ -22,6 +22,15 @@ SystemMetrics collect_metrics(os::OsInstance& inst) {
     cm.max_undo_log_bytes = ls.max_log_bytes;
     cm.undo_records = ls.records;
     cm.recoveries = inst.engine().recoveries_of(comp->endpoint());
+#if OSIRIS_TRACE_ENABLED
+    if (const trace::Tracer* tracer = inst.tracer()) {
+      if (const trace::EventRing* ring = tracer->ring(comp->endpoint().value)) {
+        cm.trace_events = ring->size();
+        cm.trace_dropped = ring->dropped();
+        cm.trace_high_water = ring->high_water();
+      }
+    }
+#endif
     const std::uint64_t hits = ws.probe_hits_inside + ws.probe_hits_outside;
     total_hits += hits;
     weighted += ws.coverage() * static_cast<double>(hits);
@@ -40,17 +49,36 @@ SystemMetrics collect_metrics(os::OsInstance& inst) {
   m.rollbacks = es.rollbacks;
   m.error_replies = es.error_replies;
   m.shutdowns = es.shutdowns;
+
+#if OSIRIS_TRACE_ENABLED
+  if (const trace::Tracer* tracer = inst.tracer()) {
+    m.trace_active = true;
+    m.trace_emitted = tracer->events_emitted();
+    m.trace_dropped = tracer->total_dropped();
+  }
+#endif
   return m;
 }
 
 std::string SystemMetrics::report() const {
-  TablePrinter t({"Component", "Coverage", "Windows", "Closed(SEEP/yield)", "State B",
-                  "Clone B", "MaxLog B", "Recoveries"});
+  std::vector<std::string> headers = {"Component", "Coverage", "Windows", "Closed(SEEP/yield)",
+                                      "State B", "Clone B", "MaxLog B", "Recoveries"};
+  if (trace_active) {
+    headers.push_back("TraceHW");
+    headers.push_back("TraceDrop");
+  }
+  TablePrinter t(headers);
   for (const ComponentMetrics& c : components) {
-    t.add_row({c.name, TablePrinter::pct(c.recovery_coverage), std::to_string(c.windows_opened),
-               std::to_string(c.closed_by_seep) + "/" + std::to_string(c.closed_by_yield),
-               std::to_string(c.state_bytes), std::to_string(c.clone_bytes),
-               std::to_string(c.max_undo_log_bytes), std::to_string(c.recoveries)});
+    std::vector<std::string> row = {
+        c.name, TablePrinter::pct(c.recovery_coverage), std::to_string(c.windows_opened),
+        std::to_string(c.closed_by_seep) + "/" + std::to_string(c.closed_by_yield),
+        std::to_string(c.state_bytes), std::to_string(c.clone_bytes),
+        std::to_string(c.max_undo_log_bytes), std::to_string(c.recoveries)};
+    if (trace_active) {
+      row.push_back(std::to_string(c.trace_high_water));
+      row.push_back(std::to_string(c.trace_dropped));
+    }
+    t.add_row(std::move(row));
   }
   std::string out = t.str();
   out += "weighted coverage: " + TablePrinter::pct(weighted_coverage) + "\n";
@@ -60,6 +88,10 @@ std::string SystemMetrics::report() const {
   out += "engine: " + std::to_string(restarts) + " restarts, " + std::to_string(rollbacks) +
          " rollbacks, " + std::to_string(error_replies) + " error replies, " +
          std::to_string(shutdowns) + " shutdowns\n";
+  if (trace_active) {
+    out += "trace: " + std::to_string(trace_emitted) + " events emitted, " +
+           std::to_string(trace_dropped) + " dropped\n";
+  }
   return out;
 }
 

@@ -20,6 +20,12 @@ struct ComponentMetrics {
   std::size_t max_undo_log_bytes = 0;  // Table VI "+undo log"
   std::uint64_t undo_records = 0;
   std::uint32_t recoveries = 0;
+
+  // Event tracing (zero unless the run had cfg.trace_enabled on an
+  // OSIRIS_TRACE=ON build): flight-recorder health per component.
+  std::uint64_t trace_events = 0;        // events currently retained in the ring
+  std::uint64_t trace_dropped = 0;       // events overwritten after the ring filled
+  std::uint64_t trace_high_water = 0;    // max events simultaneously retained
 };
 
 struct SystemMetrics {
@@ -37,6 +43,11 @@ struct SystemMetrics {
   std::uint64_t rollbacks = 0;
   std::uint64_t error_replies = 0;
   std::uint64_t shutdowns = 0;
+
+  // event tracing (machine-wide; see ComponentMetrics for the per-ring view)
+  bool trace_active = false;          // a tracer was attached to the run
+  std::uint64_t trace_emitted = 0;    // total events emitted (incl. overwritten)
+  std::uint64_t trace_dropped = 0;    // total events lost to full rings
 
   /// Render a human-readable report.
   [[nodiscard]] std::string report() const;

@@ -2,10 +2,49 @@
 
 #include "support/common.hpp"
 
+// ASan tracks one stack per OS thread; switching onto a heap-allocated fiber
+// stack without telling it makes any no-return path (exception unwind,
+// longjmp) "unpoison" memory using the *thread's* stack bounds — a
+// stack-buffer-overflow report inside the sanitizer runtime itself. The
+// fiber-switch annotations below hand ASan the correct bounds around every
+// swapcontext. They compile to nothing in non-ASan builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define OSIRIS_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define OSIRIS_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(OSIRIS_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+#if defined(OSIRIS_ASAN_FIBERS)
+#include <mutex>
+#include <vector>
+#endif
+
 namespace osiris::cothread {
 namespace {
 
 thread_local Fiber* g_current = nullptr;
+
+#if defined(OSIRIS_ASAN_FIBERS)
+// Destroying a suspended fiber abandons its stack without unwinding (see
+// ~Fiber): heap objects owned by locals stranded on that stack stay
+// allocated until process exit, by design. The switch annotations make LSan
+// precise enough to flag those strands as leaks, so under ASan the abandoned
+// stacks move to an immortal graveyard instead of being freed — the strands
+// stay reachable through it, which is exactly the ownership story the
+// design already tells. Plain builds free the stack immediately.
+void bury_abandoned_stack(std::unique_ptr<std::byte[]> stack) {
+  static auto* graveyard = new std::vector<std::unique_ptr<std::byte[]>>();
+  static std::mutex mu;  // fibers are destroyed from campaign worker threads
+  const std::lock_guard<std::mutex> lock(mu);
+  graveyard->push_back(std::move(stack));
+}
+#endif
 
 }  // namespace
 
@@ -20,18 +59,31 @@ Fiber::Fiber(std::function<void()> fn, std::size_t stack_size)
 Fiber::~Fiber() {
   // Destroying a suspended fiber abandons its stack without unwinding; the
   // simulator only does this at teardown of a whole OS instance.
+#if defined(OSIRIS_ASAN_FIBERS)
+  if (state_ == State::kSuspended) bury_abandoned_stack(std::move(stack_));
+#endif
 }
 
 Fiber* Fiber::current() noexcept { return g_current; }
 
 void Fiber::trampoline() {
   Fiber* self = g_current;
+#if defined(OSIRIS_ASAN_FIBERS)
+  // First time on this stack: complete the resumer's start_switch and learn
+  // the resumer's stack bounds for the switches back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->return_bottom_, &self->return_size_);
+#endif
   try {
     self->fn_();
   } catch (...) {
     self->pending_exception_ = std::current_exception();
   }
   self->state_ = State::kFinished;
+#if defined(OSIRIS_ASAN_FIBERS)
+  // nullptr fake-stack save: this fiber's stack is dead, let ASan free its
+  // fake frames instead of keeping them for a resume that never comes.
+  __sanitizer_start_switch_fiber(nullptr, self->return_bottom_, self->return_size_);
+#endif
   // Return to the resumer for the last time. swapcontext (not setcontext)
   // keeps ctx_ valid, though it is never resumed again.
   swapcontext(&self->ctx_, &self->link_);
@@ -50,7 +102,15 @@ void Fiber::resume() {
   Fiber* prev = g_current;
   g_current = this;
   state_ = State::kRunning;
+#if defined(OSIRIS_ASAN_FIBERS)
+  void* resumer_fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&resumer_fake_stack, stack_.get(), stack_size_);
+#endif
   swapcontext(&link_, &ctx_);
+#if defined(OSIRIS_ASAN_FIBERS)
+  // Back on the resumer's stack (the fiber suspended or finished).
+  __sanitizer_finish_switch_fiber(resumer_fake_stack, nullptr, nullptr);
+#endif
   g_current = prev;
   if (state_ == State::kRunning) state_ = State::kSuspended;
 }
@@ -59,7 +119,15 @@ void Fiber::suspend() {
   Fiber* self = g_current;
   OSIRIS_ASSERT(self != nullptr);
   self->state_ = State::kSuspended;
+#if defined(OSIRIS_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&self->fake_stack_, self->return_bottom_, self->return_size_);
+#endif
   swapcontext(&self->ctx_, &self->link_);
+#if defined(OSIRIS_ASAN_FIBERS)
+  // Resumed again — possibly from a different thread's stack: refresh the
+  // return bounds.
+  __sanitizer_finish_switch_fiber(self->fake_stack_, &self->return_bottom_, &self->return_size_);
+#endif
   self->state_ = State::kRunning;
 }
 

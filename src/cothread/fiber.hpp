@@ -65,6 +65,13 @@ class Fiber {
   ucontext_t link_{};
   State state_ = State::kReady;
   std::exception_ptr pending_exception_;
+
+  // ASan fiber-switch bookkeeping (see fiber.cpp): this fiber's saved fake
+  // stack, and the bounds of the stack resume() was called from. Unused —
+  // but kept, for one ABI regardless of flags — in non-ASan builds.
+  void* fake_stack_ = nullptr;
+  const void* return_bottom_ = nullptr;
+  std::size_t return_size_ = 0;
 };
 
 }  // namespace osiris::cothread

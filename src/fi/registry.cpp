@@ -2,8 +2,22 @@
 
 #include "support/common.hpp"
 #include "support/log.hpp"
+#include "trace/trace.hpp"
 
 namespace osiris::fi {
+
+namespace {
+
+/// Record a fault actually firing (not a mere probe hit), attributed to the
+/// component executing the probe. `realized` is the fault as delivered — for
+/// kDelayedCrash that is the silent-corruption phase now and the deferred
+/// kNullDeref later, matching what the injected component experiences.
+inline void trace_fire([[maybe_unused]] int endpoint, [[maybe_unused]] const Site* site,
+                       [[maybe_unused]] FaultType realized) {
+  OSIRIS_TRACE_EVENT(kFaultFire, endpoint, site->id, static_cast<std::uint64_t>(realized));
+}
+
+}  // namespace
 
 Site::Site(const char* f, int l, const char* t, SiteKind k)
     : file(f), line(l), tag(t), kind(k) {
@@ -124,6 +138,7 @@ FaultType Registry::on_hit(Site* site) {
         active_.window != nullptr && active_.window->is_open()) {
       periodic_last_fire_ = hits;
       ++fired_;
+      trace_fire(active_.endpoint, site, FaultType::kNullDeref);
       return FaultType::kNullDeref;
     }
     return FaultType::kNone;
@@ -143,15 +158,18 @@ FaultType Registry::on_hit(Site* site) {
       armed_type_ = FaultType::kNone;
       persistent_ = false;
       ++fired_;
+      trace_fire(active_.endpoint, site, last);
       return last;
     }
     ++fired_;
+    trace_fire(active_.endpoint, site, armed_type_);
     return armed_type_;
   }
 
   if (delayed_pending_ && hits >= trigger_hit_ + delay_) {
     delayed_pending_ = false;
     ++fired_;
+    trace_fire(active_.endpoint, site, FaultType::kNullDeref);
     return FaultType::kNullDeref;  // the deferred crash of kDelayedCrash
   }
   if (hits != trigger_hit_) return FaultType::kNone;
@@ -159,9 +177,11 @@ FaultType Registry::on_hit(Site* site) {
   if (armed_type_ == FaultType::kDelayedCrash) {
     delayed_pending_ = true;
     ++fired_;
+    trace_fire(active_.endpoint, site, FaultType::kCorruptValue);
     return FaultType::kCorruptValue;  // silent damage now, crash later
   }
   ++fired_;
+  trace_fire(active_.endpoint, site, armed_type_);
   return armed_type_;
 }
 

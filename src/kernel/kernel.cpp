@@ -5,6 +5,14 @@
 #include "kernel/faults.hpp"
 #include "support/common.hpp"
 #include "support/log.hpp"
+#include "trace/trace.hpp"
+
+// Kernel substrate events are attributed to trace component 0 (the kernel):
+// the IPC arguments carry the src/dst endpoints, so per-server timelines are
+// recoverable from the merge while the substrate keeps one bounded ring.
+namespace {
+constexpr std::int32_t kTraceKernel = 0;
+}  // namespace
 
 namespace osiris::kernel {
 
@@ -46,6 +54,11 @@ void Kernel::send(Endpoint src, Endpoint dst, Message m) {
   if (state_ != SystemState::kRunning) return;
   m.sender = src;
   ++stats_.messages_queued;
+  // Notifications already traced a kIpcNotify in notify().
+  if (!is_notify(m.type)) {
+    OSIRIS_TRACE_EVENT(kIpcSend, kTraceKernel, static_cast<std::uint64_t>(src.value),
+                       static_cast<std::uint64_t>(dst.value), m.type);
+  }
   queue_.push_back(Queued{dst, m});
 }
 
@@ -53,6 +66,8 @@ void Kernel::notify(Endpoint src, Endpoint dst, std::uint32_t type) {
   Message m;
   m.type = type | kNotifyBit;
   ++stats_.notifies;
+  OSIRIS_TRACE_EVENT(kIpcNotify, kTraceKernel, static_cast<std::uint64_t>(src.value),
+                     static_cast<std::uint64_t>(dst.value), type);
   send(src, dst, m);
 }
 
@@ -62,6 +77,8 @@ Message Kernel::call(Endpoint src, Endpoint dst, Message m) {
   ServerSlot& slot = servers_[dst.value];
   m.sender = src;
   ++stats_.nested_calls;
+  OSIRIS_TRACE_EVENT(kIpcCall, kTraceKernel, static_cast<std::uint64_t>(src.value),
+                     static_cast<std::uint64_t>(dst.value), m.type);
 
   if (slot.quarantined) {
     // Graceful degradation: a call into a parked component fails fast with
@@ -191,6 +208,8 @@ std::int64_t Kernel::safecopy_from(Endpoint grantee, GrantId id, std::size_t off
   if (!g) return err;
   std::memcpy(dst, g->base + offset, len);
   stats_.safecopy_bytes += len;
+  OSIRIS_TRACE_EVENT(kGrantCopy, kTraceKernel, static_cast<std::uint64_t>(grantee.value), len,
+                     /*dir: from grant*/ 0);
   return static_cast<std::int64_t>(len);
 }
 
@@ -201,6 +220,8 @@ std::int64_t Kernel::safecopy_to(Endpoint grantee, GrantId id, std::size_t offse
   if (!g) return err;
   std::memcpy(g->base + offset, src, len);
   stats_.safecopy_bytes += len;
+  OSIRIS_TRACE_EVENT(kGrantCopy, kTraceKernel, static_cast<std::uint64_t>(grantee.value), len,
+                     /*dir: to grant*/ 1);
   return static_cast<std::int64_t>(len);
 }
 
@@ -248,6 +269,8 @@ void Kernel::deliver_to_server(Endpoint dst, const Message& m) {
   slot.inflight = m;
   slot.in_dispatch = true;
   ++stats_.server_dispatches;
+  OSIRIS_TRACE_EVENT(kIpcDeliver, kTraceKernel, static_cast<std::uint64_t>(m.sender.value),
+                     static_cast<std::uint64_t>(dst.value), m.type);
   try {
     std::optional<Message> reply = slot.srv->dispatch(m);
     slot.in_dispatch = false;

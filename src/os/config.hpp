@@ -40,6 +40,15 @@ struct OsConfig {
   Tick disk_read_latency = 40;
   Tick disk_write_latency = 60;
 
+  /// Structured event tracing (requires an OSIRIS_TRACE=ON build; ignored —
+  /// at zero cost — otherwise). Off by default: tracing is opt-in per run.
+  bool trace_enabled = false;
+  /// Per-component ring capacity in events (flight-recorder semantics:
+  /// oldest events are overwritten once a component's ring is full). The
+  /// default keeps the busiest ring cache-resident; raise it for analyses
+  /// that must retain a full run.
+  std::size_t trace_ring_capacity = 1024;
+
   /// Scheduler-step budget: exceeded = the run is classified as hung.
   std::uint64_t max_steps = 20'000'000;
   /// Iterations without any user-process progress before declaring a hang.

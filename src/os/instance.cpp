@@ -68,9 +68,30 @@ void UserProc::on_notify(const kernel::Message& msg) {
 
 // --- OsInstance -----------------------------------------------------------
 
-OsInstance::OsInstance(OsConfig cfg) : cfg_(cfg) {}
+OsInstance::OsInstance(OsConfig cfg) : cfg_(cfg) {
+#if OSIRIS_TRACE_ENABLED
+  if (cfg_.trace_enabled) {
+    tracer_ = std::make_unique<trace::Tracer>(clock_, cfg_.trace_ring_capacity);
+    tracer_->set_component_name(kernel::kKernelEp.value, "kernel");
+    tracer_->set_component_name(kernel::kRsEp.value, "rs");
+    tracer_->set_component_name(kernel::kPmEp.value, "pm");
+    tracer_->set_component_name(kernel::kVmEp.value, "vm");
+    tracer_->set_component_name(kernel::kVfsEp.value, "vfs");
+    tracer_->set_component_name(kernel::kDsEp.value, "ds");
+    tracer_->set_component_name(servers::kSysEp.value, "sys");
+    // Install as this thread's active tracer; the previous one (normally
+    // nullptr, but OS instances may nest in harness code) is restored on
+    // destruction, mirroring ckpt::Context::Scope.
+    prev_tracer_ = trace::Tracer::exchange_active(tracer_.get());
+  }
+#endif
+}
 
-OsInstance::~OsInstance() = default;
+OsInstance::~OsInstance() {
+#if OSIRIS_TRACE_ENABLED
+  if (tracer_) trace::Tracer::exchange_active(prev_tracer_);
+#endif
+}
 
 const char* OsInstance::outcome_name(Outcome o) {
   switch (o) {

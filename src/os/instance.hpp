@@ -25,6 +25,10 @@
 #include "servers/sys_task.hpp"
 #include "servers/vfs.hpp"
 #include "servers/vm.hpp"
+#include "trace/trace.hpp"
+#if OSIRIS_TRACE_ENABLED
+#include "trace/tracer.hpp"
+#endif
 
 namespace osiris::os {
 
@@ -101,6 +105,10 @@ class OsInstance {
   servers::SysTask& sys_task() noexcept { return *sys_; }
   recovery::Engine& engine() noexcept { return *engine_; }
   fs::BlockDevice& disk() noexcept { return *disk_; }
+#if OSIRIS_TRACE_ENABLED
+  /// This machine's tracer, or nullptr when cfg.trace_enabled is false.
+  [[nodiscard]] trace::Tracer* tracer() noexcept { return tracer_.get(); }
+#endif
   [[nodiscard]] const OsConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
   [[nodiscard]] const std::string& halt_reason() const { return kernel_->halt_reason(); }
@@ -124,6 +132,10 @@ class OsInstance {
 
   OsConfig cfg_;
   VirtualClock clock_;
+#if OSIRIS_TRACE_ENABLED
+  std::unique_ptr<trace::Tracer> tracer_;
+  trace::Tracer* prev_tracer_ = nullptr;
+#endif
   std::unique_ptr<fs::BlockDevice> disk_;
   seep::Classification classification_;
   std::unique_ptr<kernel::Kernel> kernel_;

@@ -6,6 +6,7 @@
 #include "servers/protocol.hpp"
 #include "support/common.hpp"
 #include "support/log.hpp"
+#include "trace/trace.hpp"
 
 namespace osiris::recovery {
 
@@ -105,6 +106,7 @@ CrashDecision Engine::on_crash(const CrashContext& ctx) {
               std::string(slot.comp->name()).c_str(), ctx.what.c_str(),
               seep::policy_name(policy_), slot.comp->window().is_open() ? "open" : "closed",
               recurring ? "recurring" : "transient");
+  OSIRIS_TRACE_EVENT(kCrash, ctx.crashed.value, ctx.was_hang ? 1 : 0, recurring ? 1 : 0);
 
   if (recurring) {
     ++stats_.recurring_crashes;
@@ -145,6 +147,7 @@ CrashDecision Engine::escalate(Slot& slot, const CrashContext& ctx, Tick now) {
     slot.backoff = slot.backoff == 0
                        ? ladder_.backoff_base_ticks
                        : std::min(slot.backoff * 2, ladder_.backoff_cap_ticks);
+    OSIRIS_TRACE_EVENT(kRecoveryStateless, comp.endpoint().value, slot.backoff, slot.rung);
   } else {
     // Rung 2: quarantine. The cooldown keeps doubling but never drops below
     // the configured quarantine floor. Budget exhaustion lands here directly:
@@ -154,6 +157,8 @@ CrashDecision Engine::escalate(Slot& slot, const CrashContext& ctx, Tick now) {
     if (over_budget) ++stats_.budget_quarantines;
     slot.backoff = std::max(ladder_.quarantine_cooldown_ticks,
                             std::min(slot.backoff * 2, ladder_.backoff_cap_ticks));
+    OSIRIS_TRACE_EVENT(kRecoveryQuarantine, comp.endpoint().value, slot.backoff,
+                       over_budget ? 1 : 0);
   }
   OSIRIS_INFO("recovery", "%s crash loop: escalating to rung %u (park %llu ticks, try %u/%u)",
               std::string(comp.name()).c_str(), slot.rung,
@@ -200,6 +205,7 @@ void Engine::readmit(Endpoint ep) {
   it->second.parked = false;
   ++stats_.readmissions;
   kernel_.lift_quarantine(ep);
+  OSIRIS_TRACE_EVENT(kRecoveryReadmit, ep.value, it->second.rung);
   OSIRIS_INFO("recovery", "%s readmitted after cooldown (rung %u)",
               std::string(it->second.comp->name()).c_str(), it->second.rung);
   if (ep != kernel::kRsEp && kernel_.is_server(kernel::kRsEp) &&
@@ -218,6 +224,7 @@ void Engine::restart_phase(Slot& slot) {
   std::memcpy(slot.clone_image.data(), slot.comp->data_section(),
               slot.comp->data_section_size());
   ++stats_.restarts;
+  OSIRIS_TRACE_EVENT(kRecoveryRestart, slot.comp->endpoint().value, slot.clone_image.size());
 }
 
 void Engine::reset_to_boot_image(Slot& slot) {
@@ -251,8 +258,10 @@ CrashDecision Engine::recover_windowed(Slot& slot, const CrashContext& ctx) {
 
   // Phase 2: rollback — undo every store since the top-of-loop checkpoint.
   OSIRIS_ASSERT(comp.ckpt_context().log().integrity_ok());
+  [[maybe_unused]] const std::size_t replayed = comp.ckpt_context().log().entry_count();
   comp.ckpt_context().log().rollback();
   ++stats_.rollbacks;
+  OSIRIS_TRACE_EVENT(kRecoveryRollback, comp.endpoint().value, replayed);
 
   const bool tainted = comp.window().is_tainted();
 
@@ -281,6 +290,8 @@ CrashDecision Engine::recover_windowed(Slot& slot, const CrashContext& ctx) {
 CrashDecision Engine::recover_stateless(Slot& slot, const CrashContext& ctx) {
   (void)ctx;
   ++stats_.stateless_restarts;
+  // Rung 0: the policy-preferred microreboot (no park, no escalation).
+  OSIRIS_TRACE_EVENT(kRecoveryStateless, slot.comp->endpoint().value, /*park=*/0, slot.rung);
   reset_to_boot_image(slot);
   // Microreboot systems restart the component but have no reconciliation
   // protocol: the in-flight requester is simply never answered. (This is

@@ -17,8 +17,22 @@
 
 #include "ckpt/context.hpp"
 #include "seep/policy.hpp"
+#include "trace/trace.hpp"
 
 namespace osiris::seep {
+
+// Close-cause codes recorded in kWindowClose events. Mirrored as plain
+// integers so OSIRIS_TRACE=OFF builds never reference trace types; the
+// static_assert keeps them in lockstep with trace::CloseCause.
+inline constexpr std::uint64_t kCloseCauseSeep = 0;
+inline constexpr std::uint64_t kCloseCauseYield = 1;
+inline constexpr std::uint64_t kCloseCauseEndOfRequest = 2;
+#if OSIRIS_TRACE_ENABLED
+static_assert(kCloseCauseSeep == static_cast<std::uint64_t>(trace::CloseCause::kSeep) &&
+              kCloseCauseYield == static_cast<std::uint64_t>(trace::CloseCause::kYield) &&
+              kCloseCauseEndOfRequest ==
+                  static_cast<std::uint64_t>(trace::CloseCause::kEndOfRequest));
+#endif
 
 struct WindowStats {
   std::uint64_t opened = 0;
@@ -57,6 +71,7 @@ class Window {
     tainted_ = false;
     ctx_.set_window_open(true);
     ++stats_.opened;
+    OSIRIS_TRACE_EVENT(kWindowOpen, ctx_.trace_id());
   }
 
   /// Called *before* each outbound SEEP message leaves the component.
@@ -68,7 +83,7 @@ class Window {
       return;  // window survives: reconciliation will kill the requester
     }
     if (policy_closes_window(policy_, cls)) {
-      close_common();
+      close_common(kCloseCauseSeep, static_cast<std::uint64_t>(cls));
       ++stats_.closed_by_seep;
     }
   }
@@ -76,7 +91,7 @@ class Window {
   /// Forced close when a cooperative thread yields mid-request (SIV-E).
   void on_yield() {
     if (open_) {
-      close_common();
+      close_common(kCloseCauseYield, 0);
       ++stats_.closed_by_yield;
     }
   }
@@ -84,6 +99,9 @@ class Window {
   /// End of request processing: the window simply ends (no statistics —
   /// the next open() re-checkpoints).
   void end_of_request() {
+    if (open_) {
+      OSIRIS_TRACE_EVENT(kWindowClose, ctx_.trace_id(), kCloseCauseEndOfRequest);
+    }
     open_ = false;
     tainted_ = false;
     ctx_.set_window_open(false);
@@ -101,7 +119,9 @@ class Window {
   [[nodiscard]] const WindowStats& stats() const noexcept { return stats_; }
 
  private:
-  void close_common() {
+  void close_common([[maybe_unused]] std::uint64_t cause,
+                    [[maybe_unused]] std::uint64_t seep_cls) {
+    OSIRIS_TRACE_EVENT(kWindowClose, ctx_.trace_id(), cause, seep_cls);
     open_ = false;
     ctx_.set_window_open(false);
     // Past the window the checkpoint can never be restored: discard the log

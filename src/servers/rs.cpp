@@ -78,6 +78,7 @@ void Rs::do_sweep() {
   st().comps.for_each([&](std::size_t i, const RsCompInfo& c) {
     if (kern().is_quarantined(kernel::Endpoint{c.ep})) return;
     st().comps.mutate(i).pings_outstanding = c.pings_outstanding + 1;
+    OSIRIS_TRACE_EVENT(kHeartbeatPing, endpoint().value, static_cast<std::uint64_t>(c.ep));
     seep_notify(kernel::Endpoint{c.ep}, RS_PING);
     st().pings_sent += 1;
   });

@@ -73,7 +73,10 @@ class ServerCommon : public kernel::IServer, public recovery::Recoverable {
         name_(std::move(name)),
         classification_(classification),
         ctx_(ckpt_mode),
-        window_(policy, ctx_) {}
+        window_(policy, ctx_) {
+    // Checkpoint/window events attribute to this server's endpoint.
+    ctx_.set_trace_id(ep_.value);
+  }
 
   // --- IServer ---------------------------------------------------------
   [[nodiscard]] std::string_view name() const final { return name_; }
@@ -84,6 +87,8 @@ class ServerCommon : public kernel::IServer, public recovery::Recoverable {
 
     // Heartbeat protocol: answered by the base class in every server.
     if (m.type == (RS_PING | kernel::kNotifyBit)) {
+      OSIRIS_TRACE_EVENT(kHeartbeatPong, ep_.value,
+                         static_cast<std::uint64_t>(kernel::kRsEp.value));
       kernel_.notify(ep_, kernel::kRsEp, RS_PONG);
       return std::nullopt;
     }

@@ -1,0 +1,132 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace osiris::trace {
+
+EventRing& Tracer::ring_for_slow(std::size_t i) {
+  if (i >= rings_.size()) rings_.resize(i + 1);
+  if (!rings_[i]) rings_[i] = std::make_unique<EventRing>(ring_capacity_);
+  if (i < kFastComps) fast_[i] = rings_[i].get();
+  return *rings_[i];
+}
+
+std::uint64_t Tracer::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) {
+    if (r) total += r->dropped();
+  }
+  return total;
+}
+
+std::vector<Event> Tracer::merged() const {
+  std::vector<Event> out;
+  for (const auto& r : rings_) {
+    if (r) r->snapshot(out);
+  }
+  // Sequence numbers are unique (one machine-wide counter), so this is a
+  // total order and the merge is identical however the rings are walked.
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void Tracer::set_component_name(std::int32_t comp, std::string name) {
+  if (comp < 0) return;
+  const auto i = static_cast<std::size_t>(comp);
+  if (i >= names_.size()) names_.resize(i + 1);
+  names_[i] = std::move(name);
+}
+
+std::string Tracer::comp_label(std::int32_t comp) const {
+  const auto i = static_cast<std::size_t>(comp);
+  if (comp >= 0 && i < names_.size() && !names_[i].empty()) return names_[i];
+  return "ep" + std::to_string(comp);
+}
+
+namespace {
+
+void append_line(std::string& out, const Event& e, const Tracer& tracer, bool with_seq) {
+  char buf[160];
+  if (with_seq) {
+    std::snprintf(buf, sizeof(buf), "%6llu @%-8llu %-8s %-20s %llu %llu %llu\n",
+                  static_cast<unsigned long long>(e.seq),
+                  static_cast<unsigned long long>(e.tick),
+                  tracer.comp_label(e.comp).c_str(), kind_name(e.kind),
+                  static_cast<unsigned long long>(e.a0),
+                  static_cast<unsigned long long>(e.a1),
+                  static_cast<unsigned long long>(e.a2));
+  } else {
+    std::snprintf(buf, sizeof(buf), "@%-8llu %-8s %-20s %llu %llu %llu\n",
+                  static_cast<unsigned long long>(e.tick),
+                  tracer.comp_label(e.comp).c_str(), kind_name(e.kind),
+                  static_cast<unsigned long long>(e.a0),
+                  static_cast<unsigned long long>(e.a1),
+                  static_cast<unsigned long long>(e.a2));
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string format_text(const std::vector<Event>& events, const Tracer& tracer) {
+  std::string out;
+  out.reserve(events.size() * 64);
+  for (const Event& e : events) append_line(out, e, tracer, /*with_seq=*/true);
+  return out;
+}
+
+std::string format_text_unsequenced(const std::vector<Event>& events, const Tracer& tracer) {
+  std::string out;
+  out.reserve(events.size() * 56);
+  for (const Event& e : events) append_line(out, e, tracer, /*with_seq=*/false);
+  return out;
+}
+
+std::string to_chrome_json(const std::vector<Event>& events, const Tracer& tracer) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto entry = [&](const std::string& body) {
+    if (!first) out += ",\n";
+    first = false;
+    out += body;
+  };
+
+  // Thread-name metadata so chrome://tracing shows component names.
+  std::vector<std::int32_t> comps;
+  for (const Event& e : events) {
+    if (std::find(comps.begin(), comps.end(), e.comp) == comps.end()) comps.push_back(e.comp);
+  }
+  std::sort(comps.begin(), comps.end());
+  for (const std::int32_t c : comps) {
+    entry("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(c) +
+          ",\"args\":{\"name\":\"" + tracer.comp_label(c) + "\"}}");
+  }
+
+  for (const Event& e : events) {
+    const std::string common = "\"pid\":1,\"tid\":" + std::to_string(e.comp) +
+                               ",\"ts\":" + std::to_string(e.tick);
+    const std::string args = "\"args\":{\"seq\":" + std::to_string(e.seq) +
+                             ",\"a0\":" + std::to_string(e.a0) +
+                             ",\"a1\":" + std::to_string(e.a1) +
+                             ",\"a2\":" + std::to_string(e.a2) + "}";
+    switch (e.kind) {
+      case EventKind::kWindowOpen:
+        entry("{\"name\":\"recovery-window\",\"ph\":\"B\"," + common + "," + args + "}");
+        break;
+      case EventKind::kWindowClose:
+        entry("{\"name\":\"recovery-window\",\"ph\":\"E\"," + common + ",\"args\":{\"cause\":\"" +
+              std::string(close_cause_name(static_cast<CloseCause>(e.a0))) + "\"}}");
+        break;
+      default:
+        entry("{\"name\":\"" + std::string(kind_name(e.kind)) + "\",\"ph\":\"i\",\"s\":\"t\"," +
+              common + "," + args + "}");
+        break;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace osiris::trace

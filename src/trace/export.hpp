@@ -1,0 +1,30 @@
+// Trace exporters: human-readable text and Chrome trace_event JSON.
+//
+// Both formats are pure functions of (events, component labels), and the
+// text form is what golden-trace tests and the --jobs determinism test
+// compare byte-for-byte, so every field is printed with a fixed format —
+// no locale, no floating point, no pointers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/tracer.hpp"
+
+namespace osiris::trace {
+
+/// One fixed-format line per event:
+///   "<seq> @<tick> <comp> <kind> <a0> <a1> <a2>\n"
+std::string format_text(const std::vector<Event>& events, const Tracer& tracer);
+
+/// Like format_text but without the sequence column: golden files stay
+/// stable when unrelated instrumentation elsewhere shifts global sequence
+/// numbers (ordering is still the merge order).
+std::string format_text_unsequenced(const std::vector<Event>& events, const Tracer& tracer);
+
+/// Chrome trace_event JSON (open in chrome://tracing or Perfetto): one
+/// virtual tick = one microsecond, components map to "threads", recovery
+/// windows render as duration (B/E) spans, everything else as instants.
+std::string to_chrome_json(const std::vector<Event>& events, const Tracer& tracer);
+
+}  // namespace osiris::trace

@@ -6,6 +6,9 @@
 #include "support/rng.hpp"
 #include "support/worker_pool.hpp"
 #include "workload/suite.hpp"
+#if OSIRIS_TRACE_ENABLED
+#include "trace/export.hpp"
+#endif
 
 namespace osiris::workload {
 
@@ -80,7 +83,7 @@ std::vector<Injection> plan_edfi(std::uint64_t seed, int injections_per_site) {
   return plan;
 }
 
-RunClass run_one_injection(seep::Policy policy, const Injection& inj) {
+RunClass run_one_injection(seep::Policy policy, const Injection& inj, std::string* trace_out) {
   // The calling thread's registry: each worker owns an isolated probe
   // runtime, so concurrent injections never see each other's state.
   fi::Registry& reg = fi::Registry::instance();
@@ -89,6 +92,9 @@ RunClass run_one_injection(seep::Policy policy, const Injection& inj) {
 
   os::OsConfig cfg;
   cfg.policy = policy;
+#if OSIRIS_TRACE_ENABLED
+  cfg.trace_enabled = trace_out != nullptr;
+#endif
   os::OsInstance inst(cfg);
   register_suite_programs(inst.programs());
   inst.boot();
@@ -97,6 +103,14 @@ RunClass run_one_injection(seep::Policy policy, const Injection& inj) {
   reg.arm(inj.site, inj.type, inj.trigger_hit);
   const SuiteResult suite = run_suite(inst);
   reg.disarm();
+
+#if OSIRIS_TRACE_ENABLED
+  if (trace_out != nullptr && inst.tracer() != nullptr) {
+    *trace_out = trace::format_text(inst.tracer()->merged(), *inst.tracer());
+  }
+#else
+  if (trace_out != nullptr) trace_out->clear();
+#endif
 
   switch (suite.outcome) {
     case os::OsInstance::Outcome::kShutdown:
@@ -118,12 +132,15 @@ unsigned campaign_jobs(unsigned requested) {
 std::vector<RunClass> run_plan(seep::Policy policy, const std::vector<Injection>& plan,
                                const CampaignOptions& opts) {
   std::vector<RunClass> classes(plan.size(), RunClass::kCrash);
+  if (opts.traces != nullptr) opts.traces->assign(plan.size(), std::string());
   int done = 0;
   std::mutex progress_mu;
 
   support::WorkerPool::run_indexed(
       plan.size(), opts.jobs, [&](std::size_t i) {
-        classes[i] = run_one_injection(policy, plan[i]);
+        // Workers write disjoint, pre-sized slots: no lock needed.
+        std::string* trace_out = opts.traces != nullptr ? &(*opts.traces)[i] : nullptr;
+        classes[i] = run_one_injection(policy, plan[i], trace_out);
         if (opts.progress) {
           // Increment under the same lock as the callback so `done` is
           // strictly monotonic in call order, not just in total.

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "fi/fault.hpp"
@@ -57,8 +58,11 @@ std::vector<Injection> plan_edfi(std::uint64_t seed = 316, int injections_per_si
 
 /// Run one injection under a policy; returns its classification. Touches
 /// only thread-scoped simulator state, so calls may run concurrently on
-/// distinct threads.
-RunClass run_one_injection(seep::Policy policy, const Injection& inj);
+/// distinct threads. When `trace_out` is non-null (and the build has
+/// OSIRIS_TRACE=ON), the run executes with event tracing enabled and the
+/// merged, sequence-ordered text trace is stored there.
+RunClass run_one_injection(seep::Policy policy, const Injection& inj,
+                           std::string* trace_out = nullptr);
 
 struct CampaignTotals {
   int pass = 0;
@@ -84,6 +88,12 @@ struct CampaignOptions {
   /// completion order is nondeterministic for jobs > 1, but `done` is
   /// monotonic.
   std::function<void(int, int)> progress;
+  /// When non-null, every injection runs with event tracing enabled and its
+  /// merged text trace lands here, indexed by plan position. Workers write
+  /// disjoint slots, so — like the classifications — the captured traces are
+  /// byte-identical across jobs settings. Requires an OSIRIS_TRACE=ON build;
+  /// otherwise the strings come back empty.
+  std::vector<std::string>* traces = nullptr;
 };
 
 /// Number of workers a campaign uses for `requested` jobs (0 resolves to

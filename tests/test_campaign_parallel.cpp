@@ -153,3 +153,41 @@ TEST(CampaignParallel, ProgressIsSerializedAndMonotonic) {
   EXPECT_TRUE(monotonic);
   EXPECT_EQ(last_done, static_cast<int>(plan.size()));
 }
+
+#if OSIRIS_TRACE_ENABLED
+TEST(CampaignParallel, CapturedTracesAreByteIdenticalAcrossJobs) {
+  // The determinism contract extends to full event traces: a traced campaign
+  // at --jobs=4 captures, per plan index, the exact bytes the serial
+  // reference run captures. This is the strongest form of the guarantee —
+  // not just the same classifications, but the same total order of IPC,
+  // checkpointing, window, fault, and recovery events inside every run.
+  const auto plan = thin(workload::plan_failstop(/*points_per_site=*/1), 6);
+  ASSERT_GE(plan.size(), 4u);
+
+  std::vector<std::string> ref_traces;
+  workload::CampaignOptions serial;
+  serial.jobs = 1;
+  serial.traces = &ref_traces;
+
+  std::vector<std::string> par_traces;
+  workload::CampaignOptions parallel;
+  parallel.jobs = 4;
+  parallel.traces = &par_traces;
+
+  const auto ref = workload::run_plan(seep::Policy::kEnhanced, plan, serial);
+  const auto par = workload::run_plan(seep::Policy::kEnhanced, plan, parallel);
+
+  ASSERT_EQ(ref_traces.size(), plan.size());
+  ASSERT_EQ(par_traces.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(ref[i], par[i]) << "injection " << i << " classified differently";
+    // Byte-for-byte, not just "similar": any nondeterminism leaking into the
+    // simulation (iteration order, uninitialized state, cross-thread
+    // contamination) shows up here first.
+    EXPECT_EQ(ref_traces[i], par_traces[i])
+        << "injection " << i << " traced differently under --jobs=4";
+    // Each traced run must actually contain boot + suite traffic.
+    EXPECT_NE(ref_traces[i].find("IpcSend"), std::string::npos) << "trace " << i << " is empty";
+  }
+}
+#endif  // OSIRIS_TRACE_ENABLED

@@ -9,6 +9,9 @@
 #include "fi/registry.hpp"
 #include "os/instance.hpp"
 #include "workload/suite.hpp"
+#if OSIRIS_TRACE_ENABLED
+#include "trace_matcher.hpp"
+#endif
 
 using namespace osiris;
 using os::ISys;
@@ -339,3 +342,66 @@ TEST(RecoveryIntegration, RsItselfIsRecoverable) {
     EXPECT_EQ(outcome, OsInstance::Outcome::kShutdown);
   }
 }
+
+#if OSIRIS_TRACE_ENABLED
+// With tracing compiled in, the ladder climb is also checkable as an event
+// *sequence*, not just as end-state counters: the trace must show the climb
+// in order — recurring classification, rung-1 stateless parks, quarantine —
+// and agree with the engine's statistics event-for-event. The byte-exact
+// golden-trace versions of the five rungs live in the osiris_trace_tests
+// binary (ctest -L trace); this cross-check keeps the tier-1 suite robust to
+// formatting while still pinning the ladder's observable order.
+TEST(RecoveryIntegration, LadderClimbIsVisibleInTraceAndMatchesStats) {
+  using trace::EventKind;
+  using trace_test::Pat;
+  FiGuard guard;
+  const auto workload = [](ISys& sys) {
+    for (int i = 0; i < 30; ++i) sys.ds_publish("ladder.key", 1);
+  };
+  fi::Site* site = busiest_site("ds", workload);
+  ASSERT_NE(site, nullptr);
+
+  fi::Registry::instance().reset_counts();
+  os::OsConfig cfg;
+  cfg.trace_enabled = true;
+  cfg.trace_ring_capacity = 1u << 16;  // retain the whole climb, drop nothing
+  cfg.ladder.backoff_base_ticks = 50;
+  cfg.ladder.quarantine_cooldown_ticks = 100000;  // parked to the end
+  os::OsInstance inst(cfg);
+  workload::register_suite_programs(inst.programs());
+  inst.boot();
+  fi::Registry::instance().arm_persistent(site, fi::FaultType::kNullDeref, 2);
+  const auto outcome = inst.run([](ISys& sys) {
+    for (int i = 0; i < 120; ++i) {
+      (void)sys.ds_publish("ladder.key", static_cast<std::uint64_t>(i));
+    }
+  });
+  EXPECT_EQ(outcome, OsInstance::Outcome::kCompleted);
+  ASSERT_NE(inst.tracer(), nullptr);
+  const auto events = inst.tracer()->merged();
+  const std::int32_t ds = kernel::kDsEp.value;
+
+  EXPECT_TRUE(trace_test::expect_subsequence(events, {
+                  Pat{EventKind::kCrash, ds}.with_a1(0),           // first crash: transient
+                  Pat{EventKind::kCrash, ds}.with_a1(1),           // then classified recurring
+                  Pat{EventKind::kRecoveryStateless, ds}.with_a1(1),  // rung 1: parked restart
+                  Pat{EventKind::kRecoveryQuarantine, ds},            // rung 2: parked for good
+              }));
+  // Rung-1 parks readmit once their backoff expires, but the long cooldown
+  // means the final quarantine is never lifted inside this run.
+  EXPECT_TRUE(trace_test::expect_absent(events, Pat{EventKind::kRecoveryReadmit, ds}.with_a0(2)));
+
+  // Trace and engine statistics are two views of the same history.
+  const auto& stats = inst.engine().stats();
+  const auto count = [&events](const Pat& p) {
+    std::uint64_t n = 0;
+    for (const trace::Event& e : events) {
+      if (p.matches(e)) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count(Pat{EventKind::kCrash, ds}.with_a1(1)), stats.recurring_crashes);
+  EXPECT_EQ(count(Pat{EventKind::kRecoveryStateless, ds}.with_a1(1)), stats.ladder_stateless);
+  EXPECT_EQ(count(Pat{EventKind::kRecoveryQuarantine, ds}), stats.quarantines);
+}
+#endif  // OSIRIS_TRACE_ENABLED

@@ -1,0 +1,190 @@
+// Assertion DSL for trace-based tests.
+//
+// A Pat matches one trace::Event by kind, optionally pinned to a component
+// and to any subset of the scalar arguments. The matchers return
+// testing::AssertionResult so failures print the pattern AND the relevant
+// slice of the trace — debugging a recovery test should never require
+// re-running with printf.
+//
+//   EXPECT_TRUE(expect_subsequence(events, {
+//       Pat{EventKind::kFaultFire, kDs},
+//       Pat{EventKind::kCrash, kDs},
+//       Pat{EventKind::kRecoveryQuarantine, kDs}.with_a1(1),  // budget
+//   }));
+//
+// Golden traces: check_golden(name, text) diffs `text` against
+// tests/golden/<name>; set OSIRIS_REGOLDEN=1 to (re)write the files instead
+// after an intentional instrumentation change.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <initializer_list>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "trace/export.hpp"
+#include "trace/tracer.hpp"
+
+namespace osiris::trace_test {
+
+struct Pat {
+  trace::EventKind kind;
+  std::int32_t comp = -1;  // -1 = any component
+  std::optional<std::uint64_t> a0;
+  std::optional<std::uint64_t> a1;
+  std::optional<std::uint64_t> a2;
+
+  Pat(trace::EventKind k, std::int32_t c = -1) : kind(k), comp(c) {}
+  Pat(trace::EventKind k, std::int32_t c, std::uint64_t v0, std::uint64_t v1)
+      : kind(k), comp(c), a0(v0), a1(v1) {}
+
+  Pat with_a0(std::uint64_t v) const { Pat p = *this; p.a0 = v; return p; }
+  Pat with_a1(std::uint64_t v) const { Pat p = *this; p.a1 = v; return p; }
+  Pat with_a2(std::uint64_t v) const { Pat p = *this; p.a2 = v; return p; }
+
+  [[nodiscard]] bool matches(const trace::Event& e) const {
+    return e.kind == kind && (comp < 0 || e.comp == comp) && (!a0 || *a0 == e.a0) &&
+           (!a1 || *a1 == e.a1) && (!a2 || *a2 == e.a2);
+  }
+
+  [[nodiscard]] std::string describe() const {
+    std::ostringstream os;
+    os << trace::kind_name(kind);
+    if (comp >= 0) os << " comp=" << comp;
+    if (a0) os << " a0=" << *a0;
+    if (a1) os << " a1=" << *a1;
+    if (a2) os << " a2=" << *a2;
+    return os.str();
+  }
+};
+
+inline std::string dump_events(const std::vector<trace::Event>& events, std::size_t limit = 60) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < events.size() && i < limit; ++i) {
+    const trace::Event& e = events[i];
+    os << "  [" << e.seq << "] @" << e.tick << " comp=" << e.comp << ' '
+       << trace::kind_name(e.kind) << ' ' << e.a0 << ' ' << e.a1 << ' ' << e.a2 << '\n';
+  }
+  if (events.size() > limit) os << "  ... (" << events.size() - limit << " more)\n";
+  return os.str();
+}
+
+/// The patterns must appear in order (not necessarily adjacent) in `events`.
+inline testing::AssertionResult expect_subsequence(const std::vector<trace::Event>& events,
+                                                   const std::vector<Pat>& pats) {
+  std::size_t next = 0;
+  for (const trace::Event& e : events) {
+    if (next < pats.size() && pats[next].matches(e)) ++next;
+  }
+  if (next == pats.size()) return testing::AssertionSuccess();
+  return testing::AssertionFailure()
+         << "trace is missing pattern " << next << " of " << pats.size() << ": ["
+         << pats[next].describe() << "] (matched " << next << " so far)\ntrace ("
+         << events.size() << " events):\n"
+         << dump_events(events);
+}
+
+/// No event matching `pat` may appear anywhere in `events`.
+inline testing::AssertionResult expect_absent(const std::vector<trace::Event>& events,
+                                              const Pat& pat) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (pat.matches(events[i])) {
+      return testing::AssertionFailure()
+             << "pattern [" << pat.describe() << "] unexpectedly matched event " << i << " (seq "
+             << events[i].seq << ")\ntrace:\n"
+             << dump_events(events);
+    }
+  }
+  return testing::AssertionSuccess();
+}
+
+/// `comp`'s first kWindowClose must carry the expected cause.
+inline testing::AssertionResult expect_window_closed_by(const std::vector<trace::Event>& events,
+                                                        std::int32_t comp,
+                                                        trace::CloseCause cause) {
+  for (const trace::Event& e : events) {
+    if (e.kind == trace::EventKind::kWindowClose && e.comp == comp) {
+      if (e.a0 == static_cast<std::uint64_t>(cause)) return testing::AssertionSuccess();
+      return testing::AssertionFailure()
+             << "component " << comp << "'s first window close was caused by '"
+             << trace::close_cause_name(static_cast<trace::CloseCause>(e.a0)) << "', expected '"
+             << trace::close_cause_name(cause) << "'";
+    }
+  }
+  return testing::AssertionFailure()
+         << "component " << comp << " never closed a window\ntrace:\n" << dump_events(events);
+}
+
+/// Keep only the listed kinds (golden traces pin the landmark events and
+/// stay robust to added instrumentation in the high-churn IPC/undo paths).
+inline std::vector<trace::Event> filter_events(const std::vector<trace::Event>& events,
+                                               std::initializer_list<trace::EventKind> kinds) {
+  std::vector<trace::Event> out;
+  for (const trace::Event& e : events) {
+    for (const trace::EventKind k : kinds) {
+      if (e.kind == k) {
+        out.push_back(e);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// The landmark kinds every golden recovery trace is filtered to.
+inline std::vector<trace::Event> recovery_landmarks(const std::vector<trace::Event>& events) {
+  using trace::EventKind;
+  return filter_events(events,
+                       {EventKind::kWindowOpen, EventKind::kWindowClose, EventKind::kFaultFire,
+                        EventKind::kCrash, EventKind::kRecoveryRestart,
+                        EventKind::kRecoveryRollback, EventKind::kRecoveryStateless,
+                        EventKind::kRecoveryQuarantine, EventKind::kRecoveryReadmit});
+}
+
+/// Compare `text` against tests/golden/<name>. With OSIRIS_REGOLDEN set the
+/// file is rewritten instead and the assertion passes (commit the diff).
+inline testing::AssertionResult check_golden(const std::string& name, const std::string& text) {
+  const std::string path = std::string(OSIRIS_SOURCE_ROOT) + "/tests/golden/" + name;
+  if (std::getenv("OSIRIS_REGOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return testing::AssertionFailure() << "cannot write golden file " << path;
+    out << text;
+    return testing::AssertionSuccess() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return testing::AssertionFailure()
+           << "golden file " << path << " missing (run with OSIRIS_REGOLDEN=1 to create it)";
+  }
+  std::ostringstream want;
+  want << in.rdbuf();
+  if (want.str() == text) return testing::AssertionSuccess();
+
+  // First differing line, for a readable failure.
+  std::istringstream a(want.str());
+  std::istringstream b(text);
+  std::string la;
+  std::string lb;
+  int line = 0;
+  while (true) {
+    ++line;
+    const bool ga = static_cast<bool>(std::getline(a, la));
+    const bool gb = static_cast<bool>(std::getline(b, lb));
+    if (!ga && !gb) break;
+    if (la != lb || ga != gb) {
+      return testing::AssertionFailure()
+             << "golden mismatch vs " << name << " at line " << line << "\n  golden: "
+             << (ga ? la : "<eof>") << "\n  actual: " << (gb ? lb : "<eof>")
+             << "\n(set OSIRIS_REGOLDEN=1 to regenerate after an intentional change)";
+    }
+  }
+  return testing::AssertionFailure() << "golden mismatch vs " << name << " (content differs)";
+}
+
+}  // namespace osiris::trace_test
