@@ -50,6 +50,8 @@ SystemMetrics collect_metrics(os::OsInstance& inst) {
   m.error_replies = es.error_replies;
   m.shutdowns = es.shutdowns;
 
+  m.classification_defaults = inst.classification().default_lookups();
+
 #if OSIRIS_TRACE_ENABLED
   if (const trace::Tracer* tracer = inst.tracer()) {
     m.trace_active = true;
@@ -88,6 +90,8 @@ std::string SystemMetrics::report() const {
   out += "engine: " + std::to_string(restarts) + " restarts, " + std::to_string(rollbacks) +
          " rollbacks, " + std::to_string(error_replies) + " error replies, " +
          std::to_string(shutdowns) + " shutdowns\n";
+  out += "classification: " + std::to_string(classification_defaults) +
+         " default-trait lookups\n";
   if (trace_active) {
     out += "trace: " + std::to_string(trace_emitted) + " events emitted, " +
            std::to_string(trace_dropped) + " dropped\n";

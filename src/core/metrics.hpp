@@ -44,6 +44,12 @@ struct SystemMetrics {
   std::uint64_t error_replies = 0;
   std::uint64_t shutdowns = 0;
 
+  // SEEP classification health: how many lookups fell back to the
+  // conservative default because the type was absent from the spec table.
+  // Nonzero means a channel carried an undeclared type (dispatch fail-stops
+  // on these at the receiver, but outbound wrappers consult the table too).
+  std::uint64_t classification_defaults = 0;
+
   // event tracing (machine-wide; see ComponentMetrics for the per-ring view)
   bool trace_active = false;          // a tracer was attached to the run
   std::uint64_t trace_emitted = 0;    // total events emitted (incl. overwritten)

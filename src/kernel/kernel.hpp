@@ -41,10 +41,6 @@
 
 namespace osiris::kernel {
 
-/// Notification messages (no reply expected) have this bit set in the type.
-inline constexpr std::uint32_t kNotifyBit = 0x40000000u;
-inline constexpr bool is_notify(std::uint32_t type) { return (type & kNotifyBit) != 0; }
-
 /// What the crash handler decided after running the recovery pipeline.
 enum class CrashAction : std::uint8_t {
   kErrorReply,      // reconciliation: send an error-virtualized reply to the requester

@@ -38,6 +38,10 @@ inline Message make_msg(std::uint32_t type, std::uint64_t a0 = 0, std::uint64_t 
   return m;
 }
 
+/// Notification messages (no reply expected) have this bit set in the type.
+inline constexpr std::uint32_t kNotifyBit = 0x40000000u;
+inline constexpr bool is_notify(std::uint32_t type) { return (type & kNotifyBit) != 0; }
+
 /// Reply convention: replies reuse the request type with the high bit set;
 /// arg[0] carries the status (>= 0 result, < 0 negated errno).
 inline constexpr std::uint32_t kReplyBit = 0x80000000u;

@@ -174,8 +174,7 @@ void OsInstance::boot() {
 
   // Seed the data store with boot facts (consumed by uname and the suite).
   {
-    Message m = kernel::make_msg(servers::DS_PUBLISH, 316);
-    m.text.assign("sys.release");
+    Message m = servers::encode_text(servers::DS_PUBLISH, "sys.release", 316);
     kernel_->send(kernel::kKernelEp, kernel::kDsEp, m);
     kernel_->dispatch_pending();
   }

@@ -96,6 +96,9 @@ class OsInstance {
 
   // --- accessors for tests and benches ---------------------------------
   kernel::Kernel& kern() noexcept { return *kernel_; }
+  [[nodiscard]] const seep::Classification& classification() const noexcept {
+    return classification_;
+  }
   VirtualClock& clock() noexcept { return clock_; }
   servers::Pm& pm() noexcept { return *pm_; }
   servers::Vm& vm() noexcept { return *vm_; }

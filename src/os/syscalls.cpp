@@ -11,10 +11,9 @@ using kernel::Access;
 using kernel::E_INVAL;
 using kernel::E_NOENT;
 using kernel::GrantId;
-using kernel::make_msg;
 using kernel::Message;
 using kernel::OK;
-using namespace osiris::servers;  // message type constants
+using namespace osiris::servers;  // message type constants + encode()
 
 void Sys::check_killed() {
   if (proc_.killed_) throw ProcKilled{};
@@ -75,8 +74,7 @@ Message Sys::sendrec_retry(kernel::Endpoint dst, Message m) {
 std::int64_t Sys::fork(ProcBody body) {
   check_killed();
   UserProc* child = os_.create_proc(proc_.name_ + "+", std::move(body));
-  Message r = sendrec(kernel::kPmEp,
-                      make_msg(PM_FORK, static_cast<std::uint64_t>(child->ep().value)));
+  Message r = sendrec(kernel::kPmEp, encode(PM_FORK, child->ep().value));
   const std::int64_t pid = r.sarg(0);
   if (pid < 0) {
     // fork failed: the child never existed.
@@ -91,9 +89,7 @@ std::int64_t Sys::fork(ProcBody body) {
 std::int64_t Sys::exec(std::string_view path) {
   check_killed();
   const ProgramRegistry::Body* body = os_.programs().find(path);
-  Message m = make_msg(PM_EXEC);
-  m.text.assign(path);
-  Message r = sendrec(kernel::kPmEp, m);
+  Message r = sendrec(kernel::kPmEp, encode_text(PM_EXEC, path));
   if (r.sarg(0) != OK) return r.sarg(0);
   if (body == nullptr) return E_NOENT;  // binary on disk but not registered
   // The image is loaded: run the new program on this fiber; it never returns.
@@ -108,7 +104,7 @@ void Sys::exit(std::int64_t status) {
   // recovery), the rollback restored this process's entry, so the request
   // can simply be reissued.
   for (int attempt = 0; attempt < 64; ++attempt) {
-    Message r = sendrec(kernel::kPmEp, make_msg(PM_EXIT, static_cast<std::uint64_t>(status)));
+    Message r = sendrec(kernel::kPmEp, encode(PM_EXIT, status));
     if (r.sarg(0) != kernel::E_CRASH) break;
   }
   throw ProcExit{status};
@@ -119,7 +115,7 @@ std::int64_t Sys::wait_pid(std::int64_t pid, std::int64_t* status) {
   // (rolled-back) request was discarded — re-issue it.
   Message r;
   for (int attempt = 0; attempt < 64; ++attempt) {
-    r = sendrec(kernel::kPmEp, make_msg(PM_WAIT, static_cast<std::uint64_t>(pid)));
+    r = sendrec(kernel::kPmEp, encode(PM_WAIT, pid));
     if (r.sarg(0) != kernel::E_CRASH) break;
   }
   if (r.sarg(0) < 0) return r.sarg(0);
@@ -127,21 +123,21 @@ std::int64_t Sys::wait_pid(std::int64_t pid, std::int64_t* status) {
   return r.sarg(0);
 }
 
-std::int64_t Sys::getpid() { return sendrec_retry(kernel::kPmEp, make_msg(PM_GETPID)).sarg(0); }
-std::int64_t Sys::getppid() { return sendrec_retry(kernel::kPmEp, make_msg(PM_GETPPID)).sarg(0); }
+std::int64_t Sys::getpid() { return sendrec_retry(kernel::kPmEp, encode(PM_GETPID)).sarg(0); }
+std::int64_t Sys::getppid() { return sendrec_retry(kernel::kPmEp, encode(PM_GETPPID)).sarg(0); }
 
 std::int64_t Sys::kill(std::int64_t pid, std::uint64_t sig) {
-  return sendrec(kernel::kPmEp, make_msg(PM_KILL, static_cast<std::uint64_t>(pid), sig)).sarg(0);
+  return sendrec(kernel::kPmEp, encode(PM_KILL, pid, sig)).sarg(0);
 }
 
 std::int64_t Sys::sigaction(std::uint64_t sig, bool handle) {
   if (handle) proc_.handled_mask_ |= (1ULL << sig);
   else proc_.handled_mask_ &= ~(1ULL << sig);
-  return sendrec(kernel::kPmEp, make_msg(PM_SIGACTION, sig, handle ? 1 : 0)).sarg(0);
+  return sendrec(kernel::kPmEp, encode(PM_SIGACTION, sig, handle ? 1 : 0)).sarg(0);
 }
 
 std::int64_t Sys::sigpending(std::uint64_t* mask) {
-  Message r = sendrec(kernel::kPmEp, make_msg(PM_SIGPENDING));
+  Message r = sendrec(kernel::kPmEp, encode(PM_SIGPENDING));
   if (r.sarg(0) != OK) return r.sarg(0);
   if (mask != nullptr) *mask = r.arg[1] | proc_.pending_sig_mask_;
   proc_.pending_sig_mask_ = 0;
@@ -149,36 +145,33 @@ std::int64_t Sys::sigpending(std::uint64_t* mask) {
 }
 
 std::int64_t Sys::procstat(std::int64_t pid) {
-  Message r = sendrec_retry(kernel::kPmEp, make_msg(PM_PROCSTAT, static_cast<std::uint64_t>(pid)));
+  Message r = sendrec_retry(kernel::kPmEp, encode(PM_PROCSTAT, pid));
   return r.sarg(0) == OK ? static_cast<std::int64_t>(r.arg[1]) : r.sarg(0);
 }
 
-std::int64_t Sys::getuid() { return sendrec_retry(kernel::kPmEp, make_msg(PM_GETUID)).sarg(0); }
+std::int64_t Sys::getuid() { return sendrec_retry(kernel::kPmEp, encode(PM_GETUID)).sarg(0); }
 std::int64_t Sys::setuid(std::uint64_t uid) {
-  return sendrec(kernel::kPmEp, make_msg(PM_SETUID, uid)).sarg(0);
+  return sendrec(kernel::kPmEp, encode(PM_SETUID, uid)).sarg(0);
 }
 
 // --- memory ----------------------------------------------------------------
 
 std::int64_t Sys::brk(std::uint64_t addr) {
-  Message r = sendrec(kernel::kPmEp, make_msg(PM_BRK, addr));
+  Message r = sendrec(kernel::kPmEp, encode(PM_BRK, addr));
   return r.sarg(0) == OK ? static_cast<std::int64_t>(r.arg[1]) : r.sarg(0);
 }
 
 std::int64_t Sys::mmap(std::uint64_t length) {
-  Message r = sendrec(kernel::kVmEp,
-                      make_msg(VM_MMAP, static_cast<std::uint64_t>(proc_.pid_), length));
+  Message r = sendrec(kernel::kVmEp, encode(VM_MMAP, proc_.pid_, length));
   return r.sarg(0) == OK ? static_cast<std::int64_t>(r.arg[1]) : r.sarg(0);
 }
 
 std::int64_t Sys::munmap(std::int64_t region) {
-  return sendrec(kernel::kVmEp, make_msg(VM_MUNMAP, static_cast<std::uint64_t>(proc_.pid_),
-                                         static_cast<std::uint64_t>(region)))
-      .sarg(0);
+  return sendrec(kernel::kVmEp, encode(VM_MUNMAP, proc_.pid_, region)).sarg(0);
 }
 
 std::int64_t Sys::getmeminfo(std::uint64_t* free_pages, std::uint64_t* total_pages) {
-  Message r = sendrec_retry(kernel::kPmEp, make_msg(PM_GETMEMINFO));
+  Message r = sendrec_retry(kernel::kPmEp, encode(PM_GETMEMINFO));
   if (r.sarg(0) != OK) return r.sarg(0);
   if (free_pages != nullptr) *free_pages = r.arg[1];
   if (total_pages != nullptr) *total_pages = r.arg[2];
@@ -188,20 +181,17 @@ std::int64_t Sys::getmeminfo(std::uint64_t* free_pages, std::uint64_t* total_pag
 // --- files -------------------------------------------------------------------
 
 std::int64_t Sys::open(std::string_view path, std::uint64_t flags) {
-  Message m = make_msg(VFS_OPEN, flags);
-  m.text.assign(path);
-  return sendrec(kernel::kVfsEp, m).sarg(0);
+  return sendrec(kernel::kVfsEp, encode_text(VFS_OPEN, path, flags)).sarg(0);
 }
 
 std::int64_t Sys::close(std::int64_t fd) {
-  return sendrec(kernel::kVfsEp, make_msg(VFS_CLOSE, static_cast<std::uint64_t>(fd))).sarg(0);
+  return sendrec(kernel::kVfsEp, encode(VFS_CLOSE, fd)).sarg(0);
 }
 
 std::int64_t Sys::read(std::int64_t fd, std::span<std::byte> buf) {
   const GrantId g = os_.kern().make_grant(proc_.ep_, kernel::kVfsEp, buf.data(), buf.size(),
                                           Access::kWrite);
-  Message r = sendrec(kernel::kVfsEp,
-                      make_msg(VFS_READ, static_cast<std::uint64_t>(fd), g, buf.size()));
+  Message r = sendrec(kernel::kVfsEp, encode(VFS_READ, fd, g, buf.size()));
   os_.kern().revoke_grant(g);
   return r.sarg(0);
 }
@@ -210,24 +200,17 @@ std::int64_t Sys::write(std::int64_t fd, std::span<const std::byte> buf) {
   const GrantId g =
       os_.kern().make_grant(proc_.ep_, kernel::kVfsEp,
                             const_cast<std::byte*>(buf.data()), buf.size(), Access::kRead);
-  Message r = sendrec(kernel::kVfsEp,
-                      make_msg(VFS_WRITE, static_cast<std::uint64_t>(fd), g, buf.size()));
+  Message r = sendrec(kernel::kVfsEp, encode(VFS_WRITE, fd, g, buf.size()));
   os_.kern().revoke_grant(g);
   return r.sarg(0);
 }
 
 std::int64_t Sys::lseek(std::int64_t fd, std::int64_t offset, int whence) {
-  return sendrec(kernel::kVfsEp,
-                 make_msg(VFS_LSEEK, static_cast<std::uint64_t>(fd),
-                          static_cast<std::uint64_t>(offset),
-                          static_cast<std::uint64_t>(whence)))
-      .sarg(0);
+  return sendrec(kernel::kVfsEp, encode(VFS_LSEEK, fd, offset, whence)).sarg(0);
 }
 
 std::int64_t Sys::stat(std::string_view path, StatResult* out) {
-  Message m = make_msg(VFS_STAT);
-  m.text.assign(path);
-  Message r = sendrec_retry(kernel::kVfsEp, m);
+  Message r = sendrec_retry(kernel::kVfsEp, encode_text(VFS_STAT, path));
   if (r.sarg(0) < 0) return r.sarg(0);
   if (out != nullptr) {
     out->size = r.arg[0];
@@ -238,7 +221,7 @@ std::int64_t Sys::stat(std::string_view path, StatResult* out) {
 }
 
 std::int64_t Sys::fstat(std::int64_t fd, StatResult* out) {
-  Message r = sendrec_retry(kernel::kVfsEp, make_msg(VFS_FSTAT, static_cast<std::uint64_t>(fd)));
+  Message r = sendrec_retry(kernel::kVfsEp, encode(VFS_FSTAT, fd));
   if (r.sarg(0) < 0) return r.sarg(0);
   if (out != nullptr) {
     out->size = r.arg[0];
@@ -249,40 +232,31 @@ std::int64_t Sys::fstat(std::int64_t fd, StatResult* out) {
 }
 
 std::int64_t Sys::unlink(std::string_view path) {
-  Message m = make_msg(VFS_UNLINK);
-  m.text.assign(path);
-  return sendrec(kernel::kVfsEp, m).sarg(0);
+  return sendrec(kernel::kVfsEp, encode_text(VFS_UNLINK, path)).sarg(0);
 }
 
 std::int64_t Sys::mkdir(std::string_view path) {
-  Message m = make_msg(VFS_MKDIR);
-  m.text.assign(path);
-  return sendrec(kernel::kVfsEp, m).sarg(0);
+  return sendrec(kernel::kVfsEp, encode_text(VFS_MKDIR, path)).sarg(0);
 }
 
 std::int64_t Sys::rmdir(std::string_view path) {
-  Message m = make_msg(VFS_RMDIR);
-  m.text.assign(path);
-  return sendrec(kernel::kVfsEp, m).sarg(0);
+  return sendrec(kernel::kVfsEp, encode_text(VFS_RMDIR, path)).sarg(0);
 }
 
 std::int64_t Sys::rename(std::string_view path, std::string_view new_leaf) {
-  Message m = make_msg(VFS_RENAME);
-  m.text.assign(std::string(path) + ":" + std::string(new_leaf));
-  return sendrec(kernel::kVfsEp, m).sarg(0);
+  const std::string spec = std::string(path) + ":" + std::string(new_leaf);
+  return sendrec(kernel::kVfsEp, encode_text(VFS_RENAME, spec)).sarg(0);
 }
 
 std::int64_t Sys::readdir(std::string_view path, std::uint64_t index, std::string* name) {
-  Message m = make_msg(VFS_READDIR, index);
-  m.text.assign(path);
-  Message r = sendrec_retry(kernel::kVfsEp, m);
+  Message r = sendrec_retry(kernel::kVfsEp, encode_text(VFS_READDIR, path, index));
   if (r.sarg(0) != OK) return r.sarg(0);
   if (name != nullptr) *name = r.text.str();
   return static_cast<std::int64_t>(r.arg[1]);
 }
 
 std::int64_t Sys::pipe(std::int64_t fds[2]) {
-  Message r = sendrec(kernel::kVfsEp, make_msg(VFS_PIPE));
+  Message r = sendrec(kernel::kVfsEp, encode(VFS_PIPE));
   if (r.sarg(0) < 0) return r.sarg(0);
   fds[0] = static_cast<std::int64_t>(r.arg[0]);
   fds[1] = static_cast<std::int64_t>(r.arg[1]);
@@ -290,54 +264,42 @@ std::int64_t Sys::pipe(std::int64_t fds[2]) {
 }
 
 std::int64_t Sys::dup(std::int64_t fd) {
-  return sendrec(kernel::kVfsEp, make_msg(VFS_DUP, static_cast<std::uint64_t>(fd))).sarg(0);
+  return sendrec(kernel::kVfsEp, encode(VFS_DUP, fd)).sarg(0);
 }
 
 std::int64_t Sys::truncate(std::string_view path, std::uint64_t size) {
-  Message m = make_msg(VFS_TRUNC, size);
-  m.text.assign(path);
-  return sendrec(kernel::kVfsEp, m).sarg(0);
+  return sendrec(kernel::kVfsEp, encode_text(VFS_TRUNC, path, size)).sarg(0);
 }
 
-std::int64_t Sys::fsync() { return sendrec(kernel::kVfsEp, make_msg(VFS_SYNC)).sarg(0); }
+std::int64_t Sys::fsync() { return sendrec(kernel::kVfsEp, encode(VFS_SYNC)).sarg(0); }
 
 std::int64_t Sys::access(std::string_view path) {
-  Message m = make_msg(VFS_ACCESS);
-  m.text.assign(path);
-  return sendrec_retry(kernel::kVfsEp, m).sarg(0);
+  return sendrec_retry(kernel::kVfsEp, encode_text(VFS_ACCESS, path)).sarg(0);
 }
 
 // --- data store ---------------------------------------------------------------
 
 std::int64_t Sys::ds_publish(std::string_view key, std::uint64_t value) {
-  Message m = make_msg(DS_PUBLISH, value);
-  m.text.assign(key);
-  return sendrec(kernel::kDsEp, m).sarg(0);
+  return sendrec(kernel::kDsEp, encode_text(DS_PUBLISH, key, value)).sarg(0);
 }
 
 std::int64_t Sys::ds_retrieve(std::string_view key, std::uint64_t* value) {
-  Message m = make_msg(DS_RETRIEVE);
-  m.text.assign(key);
-  Message r = sendrec_retry(kernel::kDsEp, m);
+  Message r = sendrec_retry(kernel::kDsEp, encode_text(DS_RETRIEVE, key));
   if (r.sarg(0) != OK) return r.sarg(0);
   if (value != nullptr) *value = r.arg[1];
   return OK;
 }
 
 std::int64_t Sys::ds_delete(std::string_view key) {
-  Message m = make_msg(DS_DELETE);
-  m.text.assign(key);
-  return sendrec(kernel::kDsEp, m).sarg(0);
+  return sendrec(kernel::kDsEp, encode_text(DS_DELETE, key)).sarg(0);
 }
 
 std::int64_t Sys::ds_subscribe(std::string_view prefix) {
-  Message m = make_msg(DS_SUBSCRIBE);
-  m.text.assign(prefix);
-  return sendrec(kernel::kDsEp, m).sarg(0);
+  return sendrec(kernel::kDsEp, encode_text(DS_SUBSCRIBE, prefix)).sarg(0);
 }
 
 std::int64_t Sys::ds_check(std::uint64_t* events) {
-  Message r = sendrec_retry(kernel::kDsEp, make_msg(DS_CHECK));
+  Message r = sendrec_retry(kernel::kDsEp, encode(DS_CHECK));
   if (r.sarg(0) != OK) return r.sarg(0);
   if (events != nullptr) *events = r.arg[1];
   return OK;
@@ -346,22 +308,21 @@ std::int64_t Sys::ds_check(std::uint64_t* events) {
 // --- misc ------------------------------------------------------------------
 
 std::int64_t Sys::times(std::uint64_t* ticks) {
-  Message r = sendrec_retry(kernel::kPmEp, make_msg(PM_TIMES));
+  Message r = sendrec_retry(kernel::kPmEp, encode(PM_TIMES));
   if (r.sarg(0) != OK) return r.sarg(0);
   if (ticks != nullptr) *ticks = r.arg[1];
   return OK;
 }
 
 std::int64_t Sys::uname(std::string* name) {
-  Message r = sendrec_retry(kernel::kPmEp, make_msg(PM_UNAME));
+  Message r = sendrec_retry(kernel::kPmEp, encode(PM_UNAME));
   if (r.sarg(0) != OK) return r.sarg(0);
   if (name != nullptr) *name = r.text.str();
   return OK;
 }
 
 std::int64_t Sys::rs_status(std::int32_t endpoint) {
-  Message r = sendrec_retry(kernel::kRsEp,
-                            make_msg(RS_STATUS, static_cast<std::uint64_t>(endpoint)));
+  Message r = sendrec_retry(kernel::kRsEp, encode(RS_STATUS, endpoint));
   return r.sarg(0) == OK ? static_cast<std::int64_t>(r.arg[1]) : r.sarg(0);
 }
 

@@ -50,15 +50,26 @@ class Classification {
   }
 
   /// Unknown types get the conservative default (state-modifying, replyable).
+  /// Every such fallback is counted: a nonzero default_lookups() means some
+  /// channel carried a type the spec table never declared — invisible
+  /// conservatism the metrics report surfaces (and dispatch fail-stops on).
   [[nodiscard]] MsgTraits get(std::uint32_t type) const {
     auto it = table_.find(type);
-    return it == table_.end() ? MsgTraits{} : it->second;
+    if (it == table_.end()) {
+      ++default_hits_;
+      return MsgTraits{};
+    }
+    return it->second;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
 
+  /// How many get() calls fell back to the conservative default.
+  [[nodiscard]] std::uint64_t default_lookups() const noexcept { return default_hits_; }
+
  private:
   std::unordered_map<std::uint32_t, MsgTraits> table_;
+  mutable std::uint64_t default_hits_ = 0;
 };
 
 }  // namespace osiris::seep

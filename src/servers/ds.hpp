@@ -41,18 +41,28 @@ class Ds final : public ServerBase<DsState> {
      ckpt::Mode mode)
       : ServerBase(kernel, kernel::kDsEp, "ds", classification, policy, mode) {
     init_state();
+    register_handlers();
   }
 
  /// Boot: install a subscription directly (before the message loop runs).
   void boot_subscribe(kernel::Endpoint ep, std::string_view prefix);
 
  protected:
-  std::optional<kernel::Message> handle(const kernel::Message& m) override;
+  void on_message(const kernel::Message& m) override;
   void init_state() override {}
 
  private:
+  void register_handlers();
+
   std::size_t entry_of(std::string_view key) const;
   void notify_subscribers(std::string_view key);
+
+  std::optional<kernel::Message> do_publish(const kernel::Message& m);
+  std::optional<kernel::Message> do_retrieve(const kernel::Message& m);
+  std::optional<kernel::Message> do_delete(const kernel::Message& m);
+  std::optional<kernel::Message> do_subscribe(const kernel::Message& m);
+  std::optional<kernel::Message> do_check(const kernel::Message& m);
+  std::optional<kernel::Message> do_snapshot(const kernel::Message& m);
 };
 
 }  // namespace osiris::servers

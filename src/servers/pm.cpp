@@ -10,7 +10,6 @@ using kernel::E_INVAL;
 using kernel::E_NOENT;
 using kernel::E_NOMEM;
 using kernel::E_SRCH;
-using kernel::make_msg;
 using kernel::make_reply;
 using kernel::Message;
 using kernel::OK;
@@ -56,154 +55,166 @@ std::size_t Pm::slot_of_ep(std::int32_t ep) const {
       [ep](const PmProc& p) { return p.client_ep == ep && p.state != ProcState::kZombie; });
 }
 
-std::optional<Message> Pm::handle(const Message& m) {
+void Pm::register_handlers() {
+  on(PM_FORK, &Pm::do_fork);
+  on(PM_EXIT, &Pm::do_exit);
+  on(PM_WAIT, &Pm::do_wait);
+  on(PM_KILL, &Pm::do_kill);
+  on(PM_EXEC, &Pm::do_exec);
+  on_reply(VFS_PM_EXEC, &Pm::do_exec_reply);
+  on(PM_BRK, &Pm::do_brk);
+  on(PM_GETPID, &Pm::do_getpid);
+  on(PM_GETPPID, &Pm::do_getppid);
+  on(PM_GETUID, &Pm::do_getuid);
+  on(PM_SETUID, &Pm::do_setuid);
+  on(PM_SIGACTION, &Pm::do_sigaction);
+  on(PM_SIGPENDING, &Pm::do_sigpending);
+  on(PM_TIMES, &Pm::do_times);
+  on(PM_GETMEMINFO, &Pm::do_getmeminfo);
+  on(PM_UNAME, &Pm::do_uname);
+  on(PM_PROCSTAT, &Pm::do_procstat);
+  on(PM_KILL_EP, &Pm::do_kill_ep);
+  on_notify(DS_NOTIFY_SUB, &Pm::ignore_ds_note);
+}
+
+void Pm::on_message(const Message&) { FI_BLOCK("pm"); }
+
+std::optional<Message> Pm::do_getpid(const Message& m) {
   FI_BLOCK("pm");
-  switch (m.type) {
-    case PM_FORK:
-      return do_fork(m);
-    case PM_EXIT:
-      return do_exit(m);
-    case PM_WAIT:
-      return do_wait(m);
-    case PM_KILL:
-      return do_kill(m);
-    case PM_EXEC:
-      return do_exec(m);
-    case kernel::reply_type(VFS_PM_EXEC):
-      return do_exec_reply(m);
-    case PM_BRK:
-      return do_brk(m);
+  const std::size_t i = slot_of_ep(m.sender.value);
+  if (i == kNpos) return make_reply(m.type, E_SRCH);
+  return make_reply(m.type, st().procs.at(i).pid);
+}
 
-    case PM_GETPID: {
-      FI_BLOCK("pm");
-      const std::size_t i = slot_of_ep(m.sender.value);
-      if (i == kNpos) return make_reply(m.type, E_SRCH);
-      return make_reply(m.type, st().procs.at(i).pid);
-    }
-    case PM_GETPPID: {
-      const std::size_t i = slot_of_ep(m.sender.value);
-      if (i == kNpos) return make_reply(m.type, E_SRCH);
-      return make_reply(m.type, st().procs.at(i).parent);
-    }
-    case PM_GETUID: {
-      const std::size_t i = slot_of_ep(m.sender.value);
-      if (i == kNpos) return make_reply(m.type, E_SRCH);
-      return make_reply(m.type, st().procs.at(i).uid);
-    }
-    case PM_SETUID: {
-      FI_BLOCK("pm");
-      const std::size_t i = slot_of_ep(m.sender.value);
-      if (i == kNpos) return make_reply(m.type, E_SRCH);
-      st().procs.mutate(i).uid = static_cast<std::uint32_t>(m.arg[0]);
-      return make_reply(m.type, OK);
-    }
-    case PM_SIGACTION: {
-      FI_BLOCK("pm");
-      const std::size_t i = slot_of_ep(m.sender.value);
-      if (i == kNpos) return make_reply(m.type, E_SRCH);
-      const std::uint64_t sig = m.arg[0];
-      if (sig == 0 || sig >= 64 || sig == kSigKill) return make_reply(m.type, E_INVAL);
-      auto& p = st().procs.mutate(i);
-      if (m.arg[1] != 0) {
-        p.handled_sigs |= (1ULL << sig);
-      } else {
-        p.handled_sigs &= ~(1ULL << sig);
-      }
-      return make_reply(m.type, OK);
-    }
-    case PM_SIGPENDING: {
-      const std::size_t i = slot_of_ep(m.sender.value);
-      if (i == kNpos) return make_reply(m.type, E_SRCH);
-      Message r = make_reply(m.type, OK);
-      r.arg[1] = st().procs.at(i).pending_sigs;
-      // Reading the pending set consumes it (simplified sigpending+sigwait).
-      st().procs.mutate(i).pending_sigs = 0;
-      return r;
-    }
-    case PM_TIMES: {
-      FI_BLOCK("pm");
-      // Read-only SEEP to the kernel task: window survives under enhanced.
-      Message r = seep_call(kSysEp, make_msg(SYS_TIMES));
-      FI_BLOCK("pm");
-      // Aggregate per-process accounting on top of the kernel's uptime:
-      // under the pessimistic policy this whole scan is outside the window.
-      std::uint64_t running = 0;
-      st().procs.for_each([&](std::size_t, const PmProc& p) {
-        FI_BLOCK("pm");
-        if (p.state == ProcState::kRunning) ++running;
-      });
-      FI_BLOCK("pm");
-      Message out = make_reply(m.type, r.sarg(0));
-      out.arg[1] = r.arg[1];
-      out.arg[2] = running;
-      return out;
-    }
-    case PM_GETMEMINFO: {
-      FI_BLOCK("pm");
-      // Read-only SEEP to VM.
-      Message r = seep_call(kernel::kVmEp, make_msg(VM_INFO));
-      FI_BLOCK("pm");
-      if (r.sarg(0) < 0) return make_reply(m.type, r.sarg(0));
-      // Sanity-check VM's numbers against PM's own view of the system.
-      SRV_CHECK(r.arg[1] <= r.arg[2], "pm: vm reported more free than total");
-      std::uint64_t procs = 0;
-      st().procs.for_each([&](std::size_t, const PmProc&) {
-        FI_BLOCK("pm");
-        ++procs;
-      });
-      SRV_CHECK(procs >= 1, "pm: process table empty while serving a request");
-      FI_BLOCK("pm");
-      Message out = make_reply(m.type, OK);
-      out.arg[1] = r.arg[1];
-      out.arg[2] = r.arg[2];
-      return out;
-    }
-    case PM_UNAME: {
-      FI_BLOCK("pm");
-      // Read-only SEEP to DS for the published release string.
-      Message q = make_msg(DS_RETRIEVE);
-      q.text.assign("sys.release");
-      Message r = seep_call(kernel::kDsEp, q);
-      FI_BLOCK("pm");
-      // Attach the nodename of the calling process (a read-only scan that
-      // stays inside the window only under the enhanced policy).
-      std::uint64_t live = 0;
-      st().procs.for_each([&](std::size_t, const PmProc& p) {
-        FI_BLOCK("pm");
-        if (p.state != ProcState::kZombie) ++live;
-      });
-      FI_BLOCK("pm");
-      Message out = make_reply(m.type, OK);
-      out.text.assign(r.sarg(0) == OK ? "osiris" : "osiris-unknown");
-      out.arg[1] = r.sarg(0) == OK ? r.arg[1] : 0;
-      out.arg[2] = live;
-      return out;
-    }
-    case PM_PROCSTAT: {
-      const std::size_t i = slot_of_pid(static_cast<std::int32_t>(m.arg[0]));
-      if (i == kNpos) return make_reply(m.type, E_SRCH);
-      Message r = make_reply(m.type, OK);
-      r.arg[1] = static_cast<std::uint64_t>(st().procs.at(i).state);
-      r.arg[2] = static_cast<std::uint64_t>(st().procs.at(i).parent);
-      return r;
-    }
-    case PM_KILL_EP: {
-      FI_BLOCK("pm");
-      // Reconciliation kill from the recovery engine (SVII): tear down the
-      // process owning the endpoint, exactly like an external SIGKILL.
-      const std::size_t i = slot_of_ep(static_cast<std::int32_t>(m.arg[0]));
-      if (i == kNpos) return std::nullopt;  // already gone
-      Message note = make_msg(PM_SIG_NOTIFY | kernel::kNotifyBit, 1ULL << kSigKill);
-      seep_send(kernel::Endpoint{st().procs.at(i).client_ep}, note);
-      terminate_proc(i, -static_cast<std::int64_t>(kSigKill));
-      return std::nullopt;
-    }
+std::optional<Message> Pm::do_getppid(const Message& m) {
+  const std::size_t i = slot_of_ep(m.sender.value);
+  if (i == kNpos) return make_reply(m.type, E_SRCH);
+  return make_reply(m.type, st().procs.at(i).parent);
+}
 
-    case DS_NOTIFY_SUB | kernel::kNotifyBit:
-      return std::nullopt;  // informational: PM re-queries DS lazily
-    default:
-      return make_reply(m.type, kernel::E_NOSYS);
+std::optional<Message> Pm::do_getuid(const Message& m) {
+  const std::size_t i = slot_of_ep(m.sender.value);
+  if (i == kNpos) return make_reply(m.type, E_SRCH);
+  return make_reply(m.type, st().procs.at(i).uid);
+}
+
+std::optional<Message> Pm::do_setuid(const Message& m) {
+  FI_BLOCK("pm");
+  const std::size_t i = slot_of_ep(m.sender.value);
+  if (i == kNpos) return make_reply(m.type, E_SRCH);
+  st().procs.mutate(i).uid = static_cast<std::uint32_t>(MsgView(m).u(0));
+  return make_reply(m.type, OK);
+}
+
+std::optional<Message> Pm::do_sigaction(const Message& m) {
+  FI_BLOCK("pm");
+  const std::size_t i = slot_of_ep(m.sender.value);
+  if (i == kNpos) return make_reply(m.type, E_SRCH);
+  const MsgView v(m);
+  const std::uint64_t sig = v.u(0);
+  if (sig == 0 || sig >= 64 || sig == kSigKill) return make_reply(m.type, E_INVAL);
+  auto& p = st().procs.mutate(i);
+  if (v.u(1) != 0) {
+    p.handled_sigs |= (1ULL << sig);
+  } else {
+    p.handled_sigs &= ~(1ULL << sig);
   }
+  return make_reply(m.type, OK);
+}
+
+std::optional<Message> Pm::do_sigpending(const Message& m) {
+  const std::size_t i = slot_of_ep(m.sender.value);
+  if (i == kNpos) return make_reply(m.type, E_SRCH);
+  Message r = make_reply(m.type, OK);
+  r.arg[1] = st().procs.at(i).pending_sigs;
+  // Reading the pending set consumes it (simplified sigpending+sigwait).
+  st().procs.mutate(i).pending_sigs = 0;
+  return r;
+}
+
+std::optional<Message> Pm::do_times(const Message& m) {
+  FI_BLOCK("pm");
+  // Read-only SEEP to the kernel task: window survives under enhanced.
+  Message r = seep_call(kSysEp, encode(SYS_TIMES));
+  FI_BLOCK("pm");
+  // Aggregate per-process accounting on top of the kernel's uptime:
+  // under the pessimistic policy this whole scan is outside the window.
+  std::uint64_t running = 0;
+  st().procs.for_each([&](std::size_t, const PmProc& p) {
+    FI_BLOCK("pm");
+    if (p.state == ProcState::kRunning) ++running;
+  });
+  FI_BLOCK("pm");
+  Message out = make_reply(m.type, r.sarg(0));
+  out.arg[1] = r.arg[1];
+  out.arg[2] = running;
+  return out;
+}
+
+std::optional<Message> Pm::do_getmeminfo(const Message& m) {
+  FI_BLOCK("pm");
+  // Read-only SEEP to VM.
+  Message r = seep_call(kernel::kVmEp, encode(VM_INFO));
+  FI_BLOCK("pm");
+  if (r.sarg(0) < 0) return make_reply(m.type, r.sarg(0));
+  // Sanity-check VM's numbers against PM's own view of the system.
+  SRV_CHECK(r.arg[1] <= r.arg[2], "pm: vm reported more free than total");
+  std::uint64_t procs = 0;
+  st().procs.for_each([&](std::size_t, const PmProc&) {
+    FI_BLOCK("pm");
+    ++procs;
+  });
+  SRV_CHECK(procs >= 1, "pm: process table empty while serving a request");
+  FI_BLOCK("pm");
+  Message out = make_reply(m.type, OK);
+  out.arg[1] = r.arg[1];
+  out.arg[2] = r.arg[2];
+  return out;
+}
+
+std::optional<Message> Pm::do_uname(const Message& m) {
+  FI_BLOCK("pm");
+  // Read-only SEEP to DS for the published release string.
+  Message r = seep_call(kernel::kDsEp, encode_text(DS_RETRIEVE, "sys.release"));
+  FI_BLOCK("pm");
+  // Attach the nodename of the calling process (a read-only scan that
+  // stays inside the window only under the enhanced policy).
+  std::uint64_t live = 0;
+  st().procs.for_each([&](std::size_t, const PmProc& p) {
+    FI_BLOCK("pm");
+    if (p.state != ProcState::kZombie) ++live;
+  });
+  FI_BLOCK("pm");
+  Message out = make_reply(m.type, OK);
+  out.text.assign(r.sarg(0) == OK ? "osiris" : "osiris-unknown");
+  out.arg[1] = r.sarg(0) == OK ? r.arg[1] : 0;
+  out.arg[2] = live;
+  return out;
+}
+
+std::optional<Message> Pm::do_procstat(const Message& m) {
+  const std::size_t i = slot_of_pid(MsgView(m).i32(0));
+  if (i == kNpos) return make_reply(m.type, E_SRCH);
+  Message r = make_reply(m.type, OK);
+  r.arg[1] = static_cast<std::uint64_t>(st().procs.at(i).state);
+  r.arg[2] = static_cast<std::uint64_t>(st().procs.at(i).parent);
+  return r;
+}
+
+std::optional<Message> Pm::do_kill_ep(const Message& m) {
+  FI_BLOCK("pm");
+  // Reconciliation kill from the recovery engine (SVII): tear down the
+  // process owning the endpoint, exactly like an external SIGKILL.
+  const std::size_t i = slot_of_ep(MsgView(m).i32(0));
+  if (i == kNpos) return std::nullopt;  // already gone
+  seep_send(kernel::Endpoint{st().procs.at(i).client_ep},
+            encode(PM_SIG_NOTIFY | kernel::kNotifyBit, 1ULL << kSigKill));
+  terminate_proc(i, -static_cast<std::int64_t>(kSigKill));
+  return std::nullopt;
+}
+
+std::optional<Message> Pm::ignore_ds_note(const Message&) {
+  return std::nullopt;  // informational: PM re-queries DS lazily
 }
 
 std::optional<Message> Pm::do_fork(const Message& m) {
@@ -221,7 +232,7 @@ std::optional<Message> Pm::do_fork(const Message& m) {
   // fd table (VM's page mappings require the kernel slot to exist). Each of
   // these is a state-modifying SEEP: the recovery window closes at the
   // first one under both OSIRIS policies.
-  Message sys_r = seep_call(kSysEp, make_msg(SYS_FORK, parent_pid, child_pid));
+  Message sys_r = seep_call(kSysEp, encode(SYS_FORK, parent_pid, child_pid));
   FI_BLOCK("pm");
   // PM just drew a fresh pid: the kernel refusing the slot means PM's pid
   // allocator and the kernel slot table diverged (only possible after an
@@ -232,19 +243,19 @@ std::optional<Message> Pm::do_fork(const Message& m) {
     st().procs.free(child_slot);
     return make_reply(m.type, E_AGAIN);
   }
-  Message vm_r = seep_call(kernel::kVmEp, make_msg(VM_FORK_AS, parent_pid, child_pid));
+  Message vm_r = seep_call(kernel::kVmEp, encode(VM_FORK_AS, parent_pid, child_pid));
   FI_BLOCK("pm");
   if (vm_r.sarg(0) != OK) {
-    seep_call(kSysEp, make_msg(SYS_EXIT, child_pid));
+    seep_call(kSysEp, encode(SYS_EXIT, child_pid));
     st().procs.free(child_slot);
     return make_reply(m.type, vm_r.sarg(0) == kernel::E_CRASH ? E_AGAIN : vm_r.sarg(0));
   }
   Message vfs_r =
-      seep_call(kernel::kVfsEp, make_msg(VFS_PM_FORK, parent_pid, child_pid, m.arg[0]));
+      seep_call(kernel::kVfsEp, encode(VFS_PM_FORK, parent_pid, child_pid, m.arg[0]));
   FI_BLOCK("pm");
   if (vfs_r.sarg(0) != OK) {
-    seep_call(kernel::kVmEp, make_msg(VM_EXIT_AS, child_pid));
-    seep_call(kSysEp, make_msg(SYS_EXIT, child_pid));
+    seep_call(kernel::kVmEp, encode(VM_EXIT_AS, child_pid));
+    seep_call(kSysEp, encode(SYS_EXIT, child_pid));
     st().procs.free(child_slot);
     return make_reply(m.type, E_AGAIN);
   }
@@ -285,9 +296,7 @@ std::optional<Message> Pm::do_fork(const Message& m) {
   // Publish process accounting to the data store. A DS failure here is
   // tolerated: the publication is best-effort telemetry, so an E_CRASH
   // reply after DS recovery is simply ignored (user-transparent recovery).
-  Message acct = make_msg(DS_PUBLISH, st().forks);
-  acct.text.assign("pm.forks");
-  (void)seep_call(kernel::kDsEp, acct);
+  (void)seep_call(kernel::kDsEp, encode_text(DS_PUBLISH, "pm.forks", st().forks.get()));
   FI_BLOCK("pm");
   return make_reply(m.type, child_pid);
 }
@@ -312,10 +321,10 @@ void Pm::terminate_proc(std::size_t slot, std::int64_t status) {
   FI_BLOCK("pm");
 
   // Release resources in the other fault domains.
-  seep_call(kernel::kVmEp, make_msg(VM_EXIT_AS, pid));
+  seep_call(kernel::kVmEp, encode(VM_EXIT_AS, pid));
   FI_BLOCK("pm");
-  seep_call(kernel::kVfsEp, make_msg(VFS_PM_EXIT, pid));
-  seep_call(kSysEp, make_msg(SYS_EXIT, pid));
+  seep_call(kernel::kVfsEp, encode(VFS_PM_EXIT, pid));
+  seep_call(kSysEp, encode(SYS_EXIT, pid));
 
   // Reparent children to init (pid 1).
   st().procs.for_each([&](std::size_t i, const PmProc& p) {
@@ -339,8 +348,8 @@ void Pm::terminate_proc(std::size_t slot, std::int64_t status) {
       const PmProc& parent = st().procs.at(parent_slot);
       if ((parent.handled_sigs & (1ULL << kSigChld)) != 0) {
         st().procs.mutate(parent_slot).pending_sigs |= (1ULL << kSigChld);
-        Message sig = make_msg(PM_SIG_NOTIFY | kernel::kNotifyBit, 1ULL << kSigChld);
-        seep_send(kernel::Endpoint{parent.client_ep}, sig);
+        seep_send(kernel::Endpoint{parent.client_ep},
+                  encode(PM_SIG_NOTIFY | kernel::kNotifyBit, 1ULL << kSigChld));
         st().signals_sent += 1;
       }
     }
@@ -415,8 +424,8 @@ std::optional<Message> Pm::do_kill(const Message& m) {
     FI_BLOCK("pm");
     // Forced termination: notify the victim's user context, then tear down.
     const std::int32_t victim_ep = st().procs.at(slot).client_ep;
-    Message note = make_msg(PM_SIG_NOTIFY | kernel::kNotifyBit, 1ULL << kSigKill);
-    seep_send(kernel::Endpoint{victim_ep}, note);
+    seep_send(kernel::Endpoint{victim_ep},
+              encode(PM_SIG_NOTIFY | kernel::kNotifyBit, 1ULL << kSigKill));
     terminate_proc(slot, -static_cast<std::int64_t>(kSigKill));
     return make_reply(m.type, OK);
   }
@@ -424,8 +433,8 @@ std::optional<Message> Pm::do_kill(const Message& m) {
   auto& p = st().procs.mutate(slot);
   p.pending_sigs |= (1ULL << sig);
   if ((p.handled_sigs & (1ULL << sig)) != 0) {
-    Message note = make_msg(PM_SIG_NOTIFY | kernel::kNotifyBit, 1ULL << sig);
-    seep_send(kernel::Endpoint{p.client_ep}, note);
+    seep_send(kernel::Endpoint{p.client_ep},
+              encode(PM_SIG_NOTIFY | kernel::kNotifyBit, 1ULL << sig));
   }
   return make_reply(m.type, OK);
 }
@@ -446,8 +455,7 @@ std::optional<Message> Pm::do_exec(const Message& m) {
 
   // Asynchronous binary check: VFS may need the disk, so PM must not block.
   // The reply re-enters PM's request loop as a message (do_exec_reply).
-  Message check = make_msg(VFS_PM_EXEC);
-  check.text.assign(m.text.view());
+  Message check = encode_text(VFS_PM_EXEC, m.text.view());
   check.arg[1] = static_cast<std::uint64_t>(st().procs.at(slot).pid);  // correlation
   seep_send(kernel::kVfsEp, check);
   FI_BLOCK("pm");
@@ -471,7 +479,7 @@ std::optional<Message> Pm::do_exec_reply(const Message& m) {
   const std::size_t slot = slot_of_pid(pid);
   if (slot == kNpos) return std::nullopt;  // process died meanwhile
 
-  Message vm_r = seep_call(kernel::kVmEp, make_msg(VM_EXEC_AS, pid, /*image pages=*/2));
+  Message vm_r = seep_call(kernel::kVmEp, encode(VM_EXEC_AS, pid, /*image pages=*/2));
   FI_BLOCK("pm");
   if (vm_r.sarg(0) != OK) {
     seep_deferred_reply(requester, make_reply(PM_EXEC, vm_r.sarg(0)));
@@ -491,7 +499,7 @@ std::optional<Message> Pm::do_brk(const Message& m) {
   const std::int32_t pid = st().procs.at(slot).pid;
   const std::uint64_t want = FI_VALUE("pm", m.arg[0]);
 
-  Message vm_r = seep_call(kernel::kVmEp, make_msg(VM_BRK_AS, pid, want));
+  Message vm_r = seep_call(kernel::kVmEp, encode(VM_BRK_AS, pid, want));
   FI_BLOCK("pm");
   if (vm_r.sarg(0) < 0) return make_reply(m.type, vm_r.sarg(0));
   st().procs.mutate(slot).brk = vm_r.arg[1];

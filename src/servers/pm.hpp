@@ -59,6 +59,7 @@ class Pm final : public ServerBase<PmState> {
      ckpt::Mode mode)
       : ServerBase(kernel, kernel::kPmEp, "pm", classification, policy, mode) {
     init_state();
+    register_handlers();
   }
 
   /// Boot: install the init process (pid 1).
@@ -69,10 +70,12 @@ class Pm final : public ServerBase<PmState> {
   [[nodiscard]] std::int32_t pid_of_endpoint(kernel::Endpoint ep) const;
 
  protected:
-  std::optional<kernel::Message> handle(const kernel::Message& m) override;
+  void on_message(const kernel::Message& m) override;
   void init_state() override;
 
  private:
+  void register_handlers();
+
   std::size_t slot_of_pid(std::int32_t pid) const;
   std::size_t slot_of_ep(std::int32_t ep) const;
 
@@ -83,6 +86,18 @@ class Pm final : public ServerBase<PmState> {
   std::optional<kernel::Message> do_exec(const kernel::Message& m);
   std::optional<kernel::Message> do_exec_reply(const kernel::Message& m);
   std::optional<kernel::Message> do_brk(const kernel::Message& m);
+  std::optional<kernel::Message> do_getpid(const kernel::Message& m);
+  std::optional<kernel::Message> do_getppid(const kernel::Message& m);
+  std::optional<kernel::Message> do_getuid(const kernel::Message& m);
+  std::optional<kernel::Message> do_setuid(const kernel::Message& m);
+  std::optional<kernel::Message> do_sigaction(const kernel::Message& m);
+  std::optional<kernel::Message> do_sigpending(const kernel::Message& m);
+  std::optional<kernel::Message> do_times(const kernel::Message& m);
+  std::optional<kernel::Message> do_getmeminfo(const kernel::Message& m);
+  std::optional<kernel::Message> do_uname(const kernel::Message& m);
+  std::optional<kernel::Message> do_procstat(const kernel::Message& m);
+  std::optional<kernel::Message> do_kill_ep(const kernel::Message& m);
+  std::optional<kernel::Message> ignore_ds_note(const kernel::Message& m);
 
   /// Shared exit path (voluntary exit and kSigKill).
   void terminate_proc(std::size_t slot, std::int64_t status);

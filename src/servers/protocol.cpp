@@ -2,118 +2,17 @@
 
 namespace osiris::servers {
 
-// The static SEEP classification. For each message type we record:
-//   - SeepClass: does the interaction modify the *receiver's* state? This is
-//     what decides whether sending it closes the sender's recovery window
-//     under the enhanced policy (under the pessimistic policy, any send
-//     closes it).
-//   - replyable: is the incoming message a request whose sender blocks for a
-//     reply, so reconciliation may error-virtualize it with E_CRASH?
+// The static SEEP classification — a pure derivation from the declarative
+// spec table. Per-message rationale (why VFS_PM_EXEC is non-state-modifying,
+// why heartbeats close RS windows, ...) lives with the rows in msg_spec.hpp.
 //
 // The conservative default for unlisted types is (state-modifying,
-// replyable), exactly as a sound static analysis would fall back.
+// replyable), exactly as a sound static analysis would fall back — and the
+// dispatch layer independently fail-stops on unregistered types, so the
+// default can only be exercised by harness-level probes.
 seep::Classification build_classification() {
-  using seep::SeepClass;
   seep::Classification c;
-  const auto SM = SeepClass::kStateModifying;
-  const auto NSM = SeepClass::kNonStateModifying;
-
-  // --- PM ------------------------------------------------------------
-  c.set(PM_FORK, SM);
-  c.set(PM_EXIT, SM);
-  c.set(PM_WAIT, SM);
-  c.set(PM_GETPID, NSM);
-  c.set(PM_GETPPID, NSM);
-  c.set(PM_KILL, SM);
-  c.set(PM_EXEC, SM);
-  c.set(PM_BRK, SM);
-  c.set(PM_SIGACTION, SM);
-  c.set(PM_SIGPENDING, NSM);
-  c.set(PM_TIMES, NSM);
-  c.set(PM_GETMEMINFO, NSM);
-  c.set(PM_UNAME, NSM);
-  c.set(PM_GETUID, NSM);
-  c.set(PM_SETUID, SM);
-  c.set(PM_PROCSTAT, NSM);
-  // Signal delivery changes the target process's pending set.
-  c.set(PM_SIG_NOTIFY, SM, /*replyable=*/false);
-  // Reconciliation kill issued by the recovery engine (no requester waits).
-  c.set(PM_KILL_EP, SM, /*replyable=*/false);
-
-  // --- VFS ----------------------------------------------------------
-  c.set(VFS_OPEN, SM);
-  c.set(VFS_CLOSE, SM);
-  c.set(VFS_READ, SM);  // advances the file offset
-  c.set(VFS_WRITE, SM);
-  c.set(VFS_LSEEK, SM);
-  c.set(VFS_STAT, NSM);
-  c.set(VFS_FSTAT, NSM);
-  c.set(VFS_UNLINK, SM);
-  c.set(VFS_MKDIR, SM);
-  c.set(VFS_RMDIR, SM);
-  c.set(VFS_RENAME, SM);
-  c.set(VFS_READDIR, NSM);  // positionless: the index travels in the request
-  c.set(VFS_PIPE, SM);
-  c.set(VFS_DUP, SM);
-  c.set(VFS_TRUNC, SM);
-  c.set(VFS_SYNC, SM);
-  c.set(VFS_ACCESS, NSM);
-  c.set(VFS_PM_FORK, SM);
-  c.set(VFS_PM_EXIT, SM);
-  // exec's binary check only reads the filesystem: PM's window survives it
-  // under the enhanced policy (a chunk of PM's Table I gain).
-  c.set(VFS_PM_EXEC, NSM);
-  c.set(VFS_DEV_DONE, NSM, /*replyable=*/false);
-
-  // --- VM -----------------------------------------------------------
-  // mmap/munmap/brk mutate only the *requesting process's* address space:
-  // under the extended policy (SVII) these taint the sender's window
-  // instead of closing it; every other policy treats them as
-  // state-modifying (see seep::policy_closes_window).
-  const auto RSC = SeepClass::kRequesterScoped;
-  c.set(VM_MMAP, RSC);
-  c.set(VM_MUNMAP, RSC);
-  c.set(VM_BRK_AS, RSC);
-  c.set(VM_FORK_AS, SM);
-  c.set(VM_EXIT_AS, SM);
-  c.set(VM_EXEC_AS, SM);
-  c.set(VM_INFO, NSM);
-
-  // --- DS -----------------------------------------------------------
-  c.set(DS_PUBLISH, SM);
-  c.set(DS_RETRIEVE, NSM);
-  c.set(DS_DELETE, SM);
-  c.set(DS_SUBSCRIBE, SM);
-  c.set(DS_CHECK, NSM);
-  c.set(DS_SNAPSHOT, NSM);
-  // The subscriber-change notification is informational: the subscriber's
-  // state is not modified by the notify itself (it later queries DS_CHECK).
-  // This single classification is why DS is almost always recoverable under
-  // the enhanced policy but not under the pessimistic one (Table I).
-  c.set(DS_NOTIFY_SUB, NSM, /*replyable=*/false);
-
-  // --- RS -----------------------------------------------------------
-  c.set(RS_STATUS, NSM);
-  // Heartbeat pings/pongs update liveness bookkeeping on the receiving side:
-  // conservatively state-modifying, hence RS gains almost nothing from the
-  // enhanced policy (Table I: 49.4% -> 50.5%).
-  c.set(RS_PING, SM, /*replyable=*/false);
-  c.set(RS_PONG, SM, /*replyable=*/false);
-  c.set(RS_SWEEP, SM, /*replyable=*/false);
-  // Ladder bookkeeping from the RCB: RS records the parked flag and arms the
-  // readmission timer. Fire-and-forget (the RCB never blocks on RS).
-  c.set(RS_PARK, SM, /*replyable=*/false);
-  c.set(RS_READMIT, SM, /*replyable=*/false);
-
-  // --- SYS (kernel task) ------------------------------------------------
-  c.set(SYS_FORK, SM);
-  c.set(SYS_EXIT, SM);
-  c.set(SYS_MAP, SM);
-  c.set(SYS_UNMAP, SM);
-  c.set(SYS_GETINFO, NSM);
-  c.set(SYS_TIMES, NSM);
-  c.set(SYS_PRIV, SM);
-
+  for (const MsgSpec& s : kMsgSpecTable) c.set(s.type, s.seep, s.replyable());
   return c;
 }
 

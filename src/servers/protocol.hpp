@@ -1,10 +1,11 @@
-// System-wide IPC protocol: message types of every server, and the static
-// SEEP classification over them (the table the paper's LLVM pass engraves
-// onto outbound call sites).
+// System-wide IPC protocol. The message types themselves — together with
+// their owning server, SEEP classification and arg/text schema — live in the
+// declarative spec table in servers/msg_spec.hpp; this header adds the
+// protocol-adjacent constants that are not per-message rows.
 //
 // Conventions
 // -----------
-//   request arg/text layout is documented per message below;
+//   request arg/text layout is documented per spec row in msg_spec.hpp;
 //   replies carry status in arg[0] (>= 0 result, < 0 kernel::Errno).
 #pragma once
 
@@ -12,60 +13,12 @@
 
 #include "kernel/endpoint.hpp"
 #include "seep/seep.hpp"
+#include "servers/msg_spec.hpp"
 
 namespace osiris::servers {
 
 /// System-wide process-table capacity (shared by PM, VM, VFS and SYS).
 inline constexpr std::size_t kMaxProcs = 64;
-
-// --- PM: Process Manager ---------------------------------------------------
-enum PmMsg : std::uint32_t {
-  PM_FORK = 0x101,        // arg0=child client endpoint -> reply arg0=child pid
-  PM_EXIT = 0x102,        // arg0=exit status
-  PM_WAIT = 0x103,        // arg0=pid or 0=any -> reply arg0=pid, arg1=status
-  PM_GETPID = 0x104,      // -> reply arg0=pid
-  PM_GETPPID = 0x105,     // -> reply arg0=ppid
-  PM_KILL = 0x106,        // arg0=pid, arg1=signal
-  PM_EXEC = 0x107,        // text=path
-  PM_BRK = 0x108,         // arg0=new break -> reply arg0=break
-  PM_SIGACTION = 0x109,   // arg0=signal, arg1=handler id (0 = default)
-  PM_SIGPENDING = 0x10a,  // -> reply arg0=pending mask
-  PM_TIMES = 0x10b,       // -> reply arg0=user ticks, arg1=sys ticks
-  PM_GETMEMINFO = 0x10c,  // -> reply arg0=free pages, arg1=total pages
-  PM_UNAME = 0x10d,       // -> reply text=system name
-  PM_GETUID = 0x10e,      // -> reply arg0=uid
-  PM_SETUID = 0x10f,      // arg0=uid
-  PM_PROCSTAT = 0x110,    // arg0=pid -> reply arg0=state, arg1=parent pid
-  PM_SIG_NOTIFY = 0x150,  // notify PM -> user: arg0=signal mask
-  PM_KILL_EP = 0x151,     // RCB -> PM: terminate the process owning endpoint arg0
-};
-
-// --- VFS: Virtual Filesystem Server ---------------------------------------
-enum VfsMsg : std::uint32_t {
-  VFS_OPEN = 0x201,     // text=path, arg0=flags (O_*) -> reply arg0=fd
-  VFS_CLOSE = 0x202,    // arg0=fd
-  VFS_READ = 0x203,     // arg0=fd, arg1=grant, arg2=len -> reply arg0=n
-  VFS_WRITE = 0x204,    // arg0=fd, arg1=grant, arg2=len -> reply arg0=n
-  VFS_LSEEK = 0x205,    // arg0=fd, arg1=offset, arg2=whence -> reply arg0=pos
-  VFS_STAT = 0x206,     // text=path -> reply arg0=size, arg1=type, arg2=nlinks
-  VFS_FSTAT = 0x207,    // arg0=fd -> reply arg0=size, arg1=type, arg2=pos
-  VFS_UNLINK = 0x208,   // text=path
-  VFS_MKDIR = 0x209,    // text=path
-  VFS_RMDIR = 0x20a,    // text=path
-  VFS_RENAME = 0x20b,   // text=path ("old:new" in one directory)
-  VFS_READDIR = 0x20c,  // text=path, arg0=index -> reply text=name, arg1=ino
-  VFS_PIPE = 0x20d,     // -> reply arg0=read fd, arg1=write fd
-  VFS_DUP = 0x20e,      // arg0=fd -> reply arg0=new fd
-  VFS_TRUNC = 0x20f,    // text=path, arg0=new size
-  VFS_SYNC = 0x210,     //
-  VFS_ACCESS = 0x211,   // text=path -> reply OK / E_NOENT
-
-  VFS_PM_FORK = 0x220,  // PM->VFS: arg0=parent pid, arg1=child pid
-  VFS_PM_EXIT = 0x221,  // PM->VFS: arg0=pid
-  VFS_PM_EXEC = 0x222,  // PM->VFS: text=path (check binary exists; read-only)
-
-  VFS_DEV_DONE = 0x230,  // notify: disk completion, arg0=op token
-};
 
 // File open flags (arg0 of VFS_OPEN).
 enum OpenFlags : std::uint64_t {
@@ -75,51 +28,6 @@ enum OpenFlags : std::uint64_t {
   O_CREAT = 0x40,
   O_TRUNC = 0x200,
   O_APPEND = 0x400,
-};
-
-// --- VM: Virtual Memory Manager --------------------------------------------
-enum VmMsg : std::uint32_t {
-  VM_MMAP = 0x301,     // arg0=pid, arg1=length -> reply arg0=region id
-  VM_MUNMAP = 0x302,   // arg0=pid, arg1=region id
-  VM_BRK_AS = 0x303,   // arg0=pid, arg1=new break -> reply arg0=break
-  VM_FORK_AS = 0x304,  // arg0=parent pid, arg1=child pid
-  VM_EXIT_AS = 0x305,  // arg0=pid
-  VM_EXEC_AS = 0x306,  // arg0=pid, arg1=image pages
-  VM_INFO = 0x307,     // -> reply arg0=free pages, arg1=total pages
-};
-
-// --- DS: Data Store ---------------------------------------------------------
-enum DsMsg : std::uint32_t {
-  DS_PUBLISH = 0x401,    // text=key, arg0=value
-  DS_RETRIEVE = 0x402,   // text=key -> reply arg0=value
-  DS_DELETE = 0x403,     // text=key
-  DS_SUBSCRIBE = 0x404,  // text=key prefix
-  DS_CHECK = 0x405,      // -> reply arg0=#pending events, text=last key
-  DS_SNAPSHOT = 0x406,   // -> reply arg0=#entries
-
-  DS_NOTIFY_SUB = 0x410,  // notify DS -> subscriber: a matching key changed
-};
-
-// --- RS: Recovery Server -----------------------------------------------------
-enum RsMsg : std::uint32_t {
-  RS_STATUS = 0x501,  // arg0=endpoint -> reply arg0=restart count
-  RS_PING = 0x510,    // notify RS -> server (heartbeat)
-  RS_PONG = 0x511,    // notify server -> RS
-  RS_SWEEP = 0x520,   // notify (clock -> RS): run the heartbeat sweep
-  RS_PARK = 0x521,    // RCB -> RS: arg0=endpoint arg1=cooldown arg2=rung;
-                      // component quarantined, schedule its readmission
-  RS_READMIT = 0x522, // RCB -> RS: arg0=endpoint; quarantine lifted
-};
-
-// --- SYS: kernel task (privileged operations, part of the RCB) --------------
-enum SysMsg : std::uint32_t {
-  SYS_FORK = 0x601,     // arg0=parent pid, arg1=child pid
-  SYS_EXIT = 0x602,     // arg0=pid
-  SYS_MAP = 0x603,      // arg0=pid, arg1=page, arg2=frame
-  SYS_UNMAP = 0x604,    // arg0=pid, arg1=page
-  SYS_GETINFO = 0x605,  // arg0=what -> reply arg0=value
-  SYS_TIMES = 0x606,    // -> reply arg0=uptime ticks
-  SYS_PRIV = 0x607,     // arg0=pid, arg1=privilege flags
 };
 
 /// Endpoint of the SYS kernel task (registered as a server in the simulator).
@@ -135,8 +43,7 @@ enum Signal : std::uint64_t {
 };
 
 /// Build the system-wide static SEEP classification — the artifact the
-/// paper's compiler pass produces. See servers/protocol.cpp for the
-/// per-message rationale.
+/// paper's compiler pass produces — as a pure derivation from kMsgSpecTable.
 seep::Classification build_classification();
 
 }  // namespace osiris::servers

@@ -45,7 +45,7 @@ void Rs::schedule_next_sweep() {
   k->clock().call_after(sweep_interval_, [k, self] { k->notify(self, self, RS_SWEEP); });
 }
 
-void Rs::do_sweep() {
+void Rs::run_sweep() {
   FI_BLOCK("rs");
   st().sweeps += 1;
 
@@ -68,9 +68,7 @@ void Rs::do_sweep() {
   // never block on a component it monitors — a synchronous call into a hung
   // DS would hang RS itself and leave the whole system unrecoverable.
   if (st().sweeps % 4 == 1) {
-    Message pub = kernel::make_msg(DS_PUBLISH, st().sweeps);
-    pub.text.assign("rs.sweeps");
-    seep_send(kernel::kDsEp, pub);
+    seep_send(kernel::kDsEp, encode_text(DS_PUBLISH, "rs.sweeps", st().sweeps.get()));
     FI_BLOCK("rs");
   }
 
@@ -85,95 +83,99 @@ void Rs::do_sweep() {
   schedule_next_sweep();
 }
 
-std::optional<Message> Rs::handle(const Message& m) {
-  FI_BLOCK("rs");
-  switch (m.type) {
-    case RS_SWEEP | kernel::kNotifyBit:
-      do_sweep();
-      return std::nullopt;
+void Rs::register_handlers() {
+  on_notify(RS_SWEEP, &Rs::do_sweep);
+  on_notify(RS_PONG, &Rs::do_pong);
+  on(RS_STATUS, &Rs::do_status);
+  on(RS_PARK, &Rs::do_park);
+  on(RS_READMIT, &Rs::do_readmit);
+  on_notify(DS_NOTIFY_SUB, &Rs::ignore_ds_note);
+  on_reply(DS_PUBLISH, &Rs::ignore_publish_ack);
+}
 
-    case RS_PONG | kernel::kNotifyBit: {
-      const std::int32_t ep = m.sender.value;
-      const std::size_t i =
-          st().comps.find([ep](const RsCompInfo& c) { return c.ep == ep; });
-      if (i != decltype(st().comps)::npos) {
-        auto& c = st().comps.mutate(i);
-        c.pings_outstanding = 0;
-        c.last_pong_tick = kern().clock().now();
-      }
-      return std::nullopt;
-    }
+void Rs::on_message(const Message&) { FI_BLOCK("rs"); }
 
-    case RS_STATUS: {
-      FI_BLOCK("rs");
-      const auto ep = kernel::Endpoint{static_cast<std::int32_t>(m.arg[0])};
-      // Scan the monitoring table for liveness info on the queried endpoint.
-      std::uint64_t last_pong = 0;
-      std::uint64_t parked = 0;
-      st().comps.for_each([&](std::size_t, const RsCompInfo& c) {
-        FI_BLOCK("rs");
-        if (c.ep == ep.value) {
-          last_pong = c.last_pong_tick;
-          parked = c.parked;
-        }
-      });
-      FI_BLOCK("rs");
-      Message r = make_reply(m.type, OK);
-      r.arg[1] = engine_ != nullptr ? engine_->recoveries_of(ep) : 0;
-      r.arg[2] = st().hangs_detected;
-      r.arg[3] = last_pong;
-      // The heartbeat slot answers as "quarantined" while the ladder has the
-      // component parked (kernel state is authoritative; the table flag
-      // covers engines without a registered kernel slot).
-      r.arg[4] = (parked != 0 || kern().is_quarantined(ep)) ? 1 : 0;
-      return r;
-    }
+std::optional<Message> Rs::do_sweep(const Message&) {
+  run_sweep();
+  return std::nullopt;
+}
 
-    case RS_PARK: {
-      // From the RCB: a component was parked by the escalation ladder. Mark
-      // the heartbeat slot quarantined and arm the readmission timer.
-      FI_BLOCK("rs");
-      const auto ep = static_cast<std::int32_t>(m.arg[0]);
-      const Tick cooldown = static_cast<Tick>(m.arg[1]);
-      st().parks_seen += 1;
-      const std::size_t i =
-          st().comps.find([ep](const RsCompInfo& c) { return c.ep == ep; });
-      if (i != decltype(st().comps)::npos) {
-        auto& c = st().comps.mutate(i);
-        c.parked = 1;
-        c.pings_outstanding = 0;  // parked, not hung: stale pings are void
-      }
-      if (engine_ != nullptr) {
-        recovery::Engine* eng = engine_;
-        kern().clock().call_after(cooldown,
-                                  [eng, ep] { eng->readmit(kernel::Endpoint{ep}); });
-      }
-      return std::nullopt;  // fire-and-forget: the RCB never blocks on RS
-    }
-
-    case RS_READMIT: {
-      FI_BLOCK("rs");
-      const auto ep = static_cast<std::int32_t>(m.arg[0]);
-      const std::size_t i =
-          st().comps.find([ep](const RsCompInfo& c) { return c.ep == ep; });
-      if (i != decltype(st().comps)::npos) {
-        auto& c = st().comps.mutate(i);
-        c.parked = 0;
-        c.pings_outstanding = 0;
-        c.last_pong_tick = kern().clock().now();  // grace until the next sweep
-      }
-      return std::nullopt;
-    }
-
-    case DS_NOTIFY_SUB | kernel::kNotifyBit:
-      return std::nullopt;  // informational: a watched key changed
-
-    case kernel::reply_type(DS_PUBLISH):
-      return std::nullopt;  // async telemetry ack (possibly E_CRASH): ignored
-
-    default:
-      return make_reply(m.type, kernel::E_NOSYS);
+std::optional<Message> Rs::do_pong(const Message& m) {
+  const std::int32_t ep = m.sender.value;
+  const std::size_t i = st().comps.find([ep](const RsCompInfo& c) { return c.ep == ep; });
+  if (i != decltype(st().comps)::npos) {
+    auto& c = st().comps.mutate(i);
+    c.pings_outstanding = 0;
+    c.last_pong_tick = kern().clock().now();
   }
+  return std::nullopt;
+}
+
+std::optional<Message> Rs::do_status(const Message& m) {
+  FI_BLOCK("rs");
+  const auto ep = kernel::Endpoint{MsgView(m).i32(0)};
+  // Scan the monitoring table for liveness info on the queried endpoint.
+  std::uint64_t last_pong = 0;
+  std::uint64_t parked = 0;
+  st().comps.for_each([&](std::size_t, const RsCompInfo& c) {
+    FI_BLOCK("rs");
+    if (c.ep == ep.value) {
+      last_pong = c.last_pong_tick;
+      parked = c.parked;
+    }
+  });
+  FI_BLOCK("rs");
+  Message r = make_reply(m.type, OK);
+  r.arg[1] = engine_ != nullptr ? engine_->recoveries_of(ep) : 0;
+  r.arg[2] = st().hangs_detected;
+  r.arg[3] = last_pong;
+  // The heartbeat slot answers as "quarantined" while the ladder has the
+  // component parked (kernel state is authoritative; the table flag
+  // covers engines without a registered kernel slot).
+  r.arg[4] = (parked != 0 || kern().is_quarantined(ep)) ? 1 : 0;
+  return r;
+}
+
+std::optional<Message> Rs::do_park(const Message& m) {
+  // From the RCB: a component was parked by the escalation ladder. Mark
+  // the heartbeat slot quarantined and arm the readmission timer.
+  FI_BLOCK("rs");
+  const MsgView v(m);
+  const std::int32_t ep = v.i32(0);
+  const Tick cooldown = static_cast<Tick>(v.u(1));
+  st().parks_seen += 1;
+  const std::size_t i = st().comps.find([ep](const RsCompInfo& c) { return c.ep == ep; });
+  if (i != decltype(st().comps)::npos) {
+    auto& c = st().comps.mutate(i);
+    c.parked = 1;
+    c.pings_outstanding = 0;  // parked, not hung: stale pings are void
+  }
+  if (engine_ != nullptr) {
+    recovery::Engine* eng = engine_;
+    kern().clock().call_after(cooldown, [eng, ep] { eng->readmit(kernel::Endpoint{ep}); });
+  }
+  return std::nullopt;  // fire-and-forget: the RCB never blocks on RS
+}
+
+std::optional<Message> Rs::do_readmit(const Message& m) {
+  FI_BLOCK("rs");
+  const std::int32_t ep = MsgView(m).i32(0);
+  const std::size_t i = st().comps.find([ep](const RsCompInfo& c) { return c.ep == ep; });
+  if (i != decltype(st().comps)::npos) {
+    auto& c = st().comps.mutate(i);
+    c.parked = 0;
+    c.pings_outstanding = 0;
+    c.last_pong_tick = kern().clock().now();  // grace until the next sweep
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> Rs::ignore_ds_note(const Message&) {
+  return std::nullopt;  // informational: a watched key changed
+}
+
+std::optional<Message> Rs::ignore_publish_ack(const Message&) {
+  return std::nullopt;  // async telemetry ack (possibly E_CRASH): ignored
 }
 
 }  // namespace osiris::servers

@@ -39,6 +39,7 @@ class Rs final : public ServerBase<RsState> {
      ckpt::Mode mode)
       : ServerBase(kernel, kernel::kRsEp, "rs", classification, policy, mode) {
     init_state();
+    register_handlers();
   }
 
   /// Boot: monitor a server with heartbeats. Returns false — with a loud
@@ -64,12 +65,22 @@ class Rs final : public ServerBase<RsState> {
   [[nodiscard]] std::uint32_t outstanding_pings() const;
 
  protected:
-  std::optional<kernel::Message> handle(const kernel::Message& m) override;
+  void on_message(const kernel::Message& m) override;
   void init_state() override {}
 
  private:
+  void register_handlers();
+
   void schedule_next_sweep();
-  void do_sweep();
+  void run_sweep();
+
+  std::optional<kernel::Message> do_sweep(const kernel::Message& m);
+  std::optional<kernel::Message> do_pong(const kernel::Message& m);
+  std::optional<kernel::Message> do_status(const kernel::Message& m);
+  std::optional<kernel::Message> do_park(const kernel::Message& m);
+  std::optional<kernel::Message> do_readmit(const kernel::Message& m);
+  std::optional<kernel::Message> ignore_ds_note(const kernel::Message& m);
+  std::optional<kernel::Message> ignore_publish_ack(const kernel::Message& m);
 
   recovery::Engine* engine_ = nullptr;
   Tick sweep_interval_ = 0;

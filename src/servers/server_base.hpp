@@ -5,6 +5,11 @@
 // server's entire recoverable data section: a trivially-copyable struct
 // composed of ckpt::Cell / Array / Table / Str members. The base class:
 //
+//   - dispatches incoming messages through a flat handler table populated by
+//     on()/on_notify()/on_reply() registrations against the MsgSpec registry
+//     (one array load per dispatch, no hashing, no per-server switch);
+//   - validates every incoming request against the spec's arg/text schema and
+//     fail-stops on unregistered types or malformed requests (paper SII-E);
 //   - opens the recovery window (and takes the checkpoint — an undo-log
 //     reset) at the "top of the loop", i.e. when a replyable request
 //     arrives;
@@ -21,6 +26,7 @@
 // fail-silent misbehaviour into a fail-stop fault (paper SII-E).
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string>
 #include <type_traits>
@@ -93,20 +99,67 @@ class ServerCommon : public kernel::IServer, public recovery::Recoverable {
       return std::nullopt;
     }
 
+    // A type the spec table never declared reaching a server is a protocol
+    // violation, not a request to answer: fail-stop instead of the silent
+    // conservative fall-through (paper SII-E).
+    const MsgSpec* spec = find_msg_spec(m.type);
+    SRV_CHECK(spec != nullptr, "dispatch: unregistered message type");
+
+    const bool is_notify = kernel::is_notify(m.type);
+    const bool is_reply = kernel::is_reply(m.type);
+    if (!is_reply) {
+      // Malformed request → fail-stop: args outside the schema must be zero,
+      // text only where the schema declares it, and the notify bit must
+      // match the spec's delivery kind. (Replies are exempt: their args
+      // carry status/results, shaped by the reply convention instead.)
+      for (int i = spec->args; i < 6; ++i) {
+        SRV_CHECK(m.arg[i] == 0, "dispatch: request args outside the message schema");
+      }
+      SRV_CHECK(m.text.empty() || spec->text, "dispatch: text on a textless message");
+      SRV_CHECK(is_notify == spec->notify(), "dispatch: delivery kind contradicts the spec");
+    }
+
     // Top of the request processing loop: checkpoint + open the recovery
     // window, but only for requests that reconciliation could answer with
     // an error reply. Notifications have no requester to answer, and an
     // asynchronous *reply* continues a previous request (Figure 1) whose
     // sender is long gone — in both cases a rollback could never be
     // reconciled, so the window (conservatively) stays closed.
-    const seep::MsgTraits traits = classification_.get(m.type & ~kernel::kNotifyBit);
-    if (traits.replyable && !kernel::is_notify(m.type) && !kernel::is_reply(m.type)) {
+    if (spec->replyable() && !is_notify && !is_reply) {
       window_.open();
     }
 
-    std::optional<kernel::Message> reply = handle(m);
+    on_message(m);
+
+    // Flat handler-table dispatch: the spec row index is the handler slot.
+    const HandlerSlot& slot = handlers_[static_cast<std::size_t>(spec - kMsgSpecTable)];
+    const MemberHandler h = is_notify ? slot.notify : is_reply ? slot.reply : slot.request;
+    std::optional<kernel::Message> reply;
+    if (h != nullptr) {
+      reply = (this->*h)(m);
+    } else if (!is_notify && !is_reply && spec->replyable()) {
+      // A registered type this server has no handler for: tell the caller.
+      // Unhandled notifications and stray replies have no one to answer.
+      reply = kernel::make_reply(m.type, kernel::E_NOSYS);
+    }
     window_.end_of_request();
     return reply;
+  }
+
+  /// True when this server registered a handler for the given type's natural
+  /// delivery kind (requests/sends -> on(), notifications -> on_notify()).
+  [[nodiscard]] bool has_handler(std::uint32_t type) const {
+    const MsgSpec* spec = find_msg_spec(type);
+    if (spec == nullptr) return false;
+    const HandlerSlot& slot = handlers_[static_cast<std::size_t>(spec - kMsgSpecTable)];
+    return (spec->notify() ? slot.notify : slot.request) != nullptr;
+  }
+
+  /// True when this server registered a reply continuation for the type.
+  [[nodiscard]] bool has_reply_handler(std::uint32_t type) const {
+    const MsgSpec* spec = find_msg_spec(type);
+    if (spec == nullptr) return false;
+    return handlers_[static_cast<std::size_t>(spec - kMsgSpecTable)].reply != nullptr;
   }
 
   // --- Recoverable ------------------------------------------------------
@@ -117,9 +170,45 @@ class ServerCommon : public kernel::IServer, public recovery::Recoverable {
   void on_restored(bool /*rolled_back*/) override {}
 
  protected:
-  /// Server logic: process one message, return the reply (or nullopt if the
-  /// reply is deferred / the message needs none).
-  virtual std::optional<kernel::Message> handle(const kernel::Message& m) = 0;
+  /// Handler signature: process one message, return the reply (or nullopt if
+  /// the reply is deferred / the message needs none).
+  using MemberHandler = std::optional<kernel::Message> (ServerCommon::*)(const kernel::Message&);
+
+  /// Per-message prologue hook, called once per dispatched message after the
+  /// window decision and before the handler. Servers use it for their
+  /// fault-injection block probe and per-request accounting.
+  virtual void on_message(const kernel::Message& /*m*/) {}
+
+  /// Register the handler for a request or fire-and-forget send.
+  template <typename ServerT>
+  void on(std::uint32_t type,
+          std::optional<kernel::Message> (ServerT::*fn)(const kernel::Message&)) {
+    const MsgSpec* spec = find_msg_spec(type);
+    OSIRIS_ASSERT(spec != nullptr && !spec->notify());
+    handlers_[static_cast<std::size_t>(spec - kMsgSpecTable)].request =
+        static_cast<MemberHandler>(fn);
+  }
+
+  /// Register the handler for a notification (spec kind NOTE).
+  template <typename ServerT>
+  void on_notify(std::uint32_t type,
+                 std::optional<kernel::Message> (ServerT::*fn)(const kernel::Message&)) {
+    const MsgSpec* spec = find_msg_spec(type);
+    OSIRIS_ASSERT(spec != nullptr && spec->notify());
+    handlers_[static_cast<std::size_t>(spec - kMsgSpecTable)].notify =
+        static_cast<MemberHandler>(fn);
+  }
+
+  /// Register the continuation for an asynchronous *reply* to an earlier
+  /// request this server sent (Figure 1's split request processing).
+  template <typename ServerT>
+  void on_reply(std::uint32_t type,
+                std::optional<kernel::Message> (ServerT::*fn)(const kernel::Message&)) {
+    const MsgSpec* spec = find_msg_spec(type);
+    OSIRIS_ASSERT(spec != nullptr && spec->replyable());
+    handlers_[static_cast<std::size_t>(spec - kMsgSpecTable)].reply =
+        static_cast<MemberHandler>(fn);
+  }
 
   /// Boot-time (and stateless-restart) initialization of State.
   virtual void init_state() = 0;
@@ -159,12 +248,20 @@ class ServerCommon : public kernel::IServer, public recovery::Recoverable {
   }
 
  private:
+  /// One slot per spec row; the three delivery kinds dispatch independently.
+  struct HandlerSlot {
+    MemberHandler request = nullptr;
+    MemberHandler notify = nullptr;
+    MemberHandler reply = nullptr;
+  };
+
   kernel::Kernel& kernel_;
   kernel::Endpoint ep_;
   std::string name_;
   const seep::Classification& classification_;
   ckpt::Context ctx_;
   seep::Window window_;
+  std::array<HandlerSlot, kMsgSpecCount> handlers_{};
 };
 
 /// Typed layer binding a concrete State struct as the data section.

@@ -21,67 +21,83 @@ std::size_t SysTask::slot_of(std::int32_t pid) const {
   return st().slots.find([pid](const SysProcSlot& s) { return s.pid == pid; });
 }
 
-std::optional<Message> SysTask::handle(const Message& m) {
-  constexpr auto npos = decltype(SysState{}.slots)::npos;
-  switch (m.type) {
-    case SYS_FORK: {
-      const auto child = static_cast<std::int32_t>(m.arg[1]);
-      if (slot_of(child) != npos) return make_reply(m.type, E_INVAL);
-      const std::size_t i = st().slots.alloc();
-      if (i == npos) return make_reply(m.type, E_NOMEM);
-      auto& slot = st().slots.mutate(i);
-      slot.pid = child;
-      slot.mapped_pages = 0;
-      return make_reply(m.type, OK);
-    }
-    case SYS_EXIT: {
-      const std::size_t i = slot_of(static_cast<std::int32_t>(m.arg[0]));
-      if (i == npos) return make_reply(m.type, E_SRCH);
-      st().slots.free(i);
-      return make_reply(m.type, OK);
-    }
-    case SYS_MAP: {
-      const std::size_t i = slot_of(static_cast<std::int32_t>(m.arg[0]));
-      if (i == npos) return make_reply(m.type, E_SRCH);
-      st().slots.mutate(i).mapped_pages += static_cast<std::uint32_t>(m.arg[2]);
-      st().maps += 1;
-      return make_reply(m.type, OK);
-    }
-    case SYS_UNMAP: {
-      const std::size_t i = slot_of(static_cast<std::int32_t>(m.arg[0]));
-      if (i == npos) return make_reply(m.type, E_SRCH);
-      auto& slot = st().slots.mutate(i);
-      const auto n = static_cast<std::uint32_t>(m.arg[2]);
-      slot.mapped_pages = slot.mapped_pages >= n ? slot.mapped_pages - n : 0;
-      st().unmaps += 1;
-      return make_reply(m.type, OK);
-    }
-    case SYS_GETINFO: {
-      // what: 0 = #kernel slots in use, 1 = total mapped pages.
-      std::uint64_t v = 0;
-      if (m.arg[0] == 0) {
-        v = st().slots.in_use_count();
-      } else {
-        st().slots.for_each([&v](std::size_t, const SysProcSlot& s) { v += s.mapped_pages; });
-      }
-      Message r = make_reply(m.type, OK);
-      r.arg[1] = v;
-      return r;
-    }
-    case SYS_TIMES: {
-      Message r = make_reply(m.type, OK);
-      r.arg[1] = kern().clock().now();
-      return r;
-    }
-    case SYS_PRIV: {
-      const std::size_t i = slot_of(static_cast<std::int32_t>(m.arg[0]));
-      if (i == npos) return make_reply(m.type, E_SRCH);
-      st().slots.mutate(i).priv_flags = m.arg[1];
-      return make_reply(m.type, OK);
-    }
-    default:
-      return make_reply(m.type, kernel::E_NOSYS);
+namespace {
+constexpr auto kNpos = decltype(SysState{}.slots)::npos;
+}
+
+void SysTask::register_handlers() {
+  on(SYS_FORK, &SysTask::do_fork);
+  on(SYS_EXIT, &SysTask::do_exit);
+  on(SYS_MAP, &SysTask::do_map);
+  on(SYS_UNMAP, &SysTask::do_unmap);
+  on(SYS_GETINFO, &SysTask::do_getinfo);
+  on(SYS_TIMES, &SysTask::do_times);
+  on(SYS_PRIV, &SysTask::do_priv);
+}
+
+std::optional<Message> SysTask::do_fork(const Message& m) {
+  const std::int32_t child = MsgView(m).i32(1);
+  if (slot_of(child) != kNpos) return make_reply(m.type, E_INVAL);
+  const std::size_t i = st().slots.alloc();
+  if (i == kNpos) return make_reply(m.type, E_NOMEM);
+  auto& slot = st().slots.mutate(i);
+  slot.pid = child;
+  slot.mapped_pages = 0;
+  return make_reply(m.type, OK);
+}
+
+std::optional<Message> SysTask::do_exit(const Message& m) {
+  const std::size_t i = slot_of(MsgView(m).i32(0));
+  if (i == kNpos) return make_reply(m.type, E_SRCH);
+  st().slots.free(i);
+  return make_reply(m.type, OK);
+}
+
+std::optional<Message> SysTask::do_map(const Message& m) {
+  const MsgView v(m);
+  const std::size_t i = slot_of(v.i32(0));
+  if (i == kNpos) return make_reply(m.type, E_SRCH);
+  st().slots.mutate(i).mapped_pages += static_cast<std::uint32_t>(v.u(2));
+  st().maps += 1;
+  return make_reply(m.type, OK);
+}
+
+std::optional<Message> SysTask::do_unmap(const Message& m) {
+  const MsgView v(m);
+  const std::size_t i = slot_of(v.i32(0));
+  if (i == kNpos) return make_reply(m.type, E_SRCH);
+  auto& slot = st().slots.mutate(i);
+  const auto n = static_cast<std::uint32_t>(v.u(2));
+  slot.mapped_pages = slot.mapped_pages >= n ? slot.mapped_pages - n : 0;
+  st().unmaps += 1;
+  return make_reply(m.type, OK);
+}
+
+std::optional<Message> SysTask::do_getinfo(const Message& m) {
+  // what: 0 = #kernel slots in use, 1 = total mapped pages.
+  std::uint64_t v = 0;
+  if (MsgView(m).u(0) == 0) {
+    v = st().slots.in_use_count();
+  } else {
+    st().slots.for_each([&v](std::size_t, const SysProcSlot& s) { v += s.mapped_pages; });
   }
+  Message r = make_reply(m.type, OK);
+  r.arg[1] = v;
+  return r;
+}
+
+std::optional<Message> SysTask::do_times(const Message& m) {
+  Message r = make_reply(m.type, OK);
+  r.arg[1] = kern().clock().now();
+  return r;
+}
+
+std::optional<Message> SysTask::do_priv(const Message& m) {
+  const MsgView v(m);
+  const std::size_t i = slot_of(v.i32(0));
+  if (i == kNpos) return make_reply(m.type, E_SRCH);
+  st().slots.mutate(i).priv_flags = v.u(1);
+  return make_reply(m.type, OK);
 }
 
 }  // namespace osiris::servers

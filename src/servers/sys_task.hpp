@@ -33,17 +33,27 @@ class SysTask final : public ServerBase<SysState> {
       : ServerBase(kernel, kSysEp, "sys", classification, seep::Policy::kEnhanced,
                    ckpt::Mode::kOff) {
     init_state();
+    register_handlers();
   }
 
   /// Boot-time registration of the init process's kernel slot.
   void register_boot_proc(std::int32_t pid);
 
  protected:
-  std::optional<kernel::Message> handle(const kernel::Message& m) override;
   void init_state() override {}
 
  private:
+  void register_handlers();
+
   std::size_t slot_of(std::int32_t pid) const;
+
+  std::optional<kernel::Message> do_fork(const kernel::Message& m);
+  std::optional<kernel::Message> do_exit(const kernel::Message& m);
+  std::optional<kernel::Message> do_map(const kernel::Message& m);
+  std::optional<kernel::Message> do_unmap(const kernel::Message& m);
+  std::optional<kernel::Message> do_getinfo(const kernel::Message& m);
+  std::optional<kernel::Message> do_times(const kernel::Message& m);
+  std::optional<kernel::Message> do_priv(const kernel::Message& m);
 };
 
 }  // namespace osiris::servers

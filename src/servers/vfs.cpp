@@ -17,7 +17,6 @@ using kernel::E_NOENT;
 using kernel::E_NOTDIR;
 using kernel::E_PIPE;
 using kernel::E_SRCH;
-using kernel::make_msg;
 using kernel::make_reply;
 using kernel::Message;
 using kernel::OK;
@@ -53,6 +52,7 @@ Vfs::Vfs(kernel::Kernel& kernel, const seep::Classification& classification,
     });
   }
   init_state();
+  register_handlers();
 }
 
 Vfs::~Vfs() = default;
@@ -118,7 +118,7 @@ void Vfs::CachedStore::read_block(std::uint32_t bno,
   const auto self = vfs_.endpoint();
   vfs_.dev_.submit_read(bno, std::span<std::byte, fs::kBlockSize>(*staging),
                         [k, self, token, staging] {
-                          Message done = make_msg(VFS_DEV_DONE | kernel::kNotifyBit, token);
+                          Message done = encode(VFS_DEV_DONE | kernel::kNotifyBit, token);
                           // analyze-suppress(raw-kernel-send): self-directed
                           // completion from the disk callback; the window was
                           // already force-closed by the on_yield() below.
@@ -157,66 +157,61 @@ void Vfs::CachedStore::write_block(std::uint32_t bno,
 
 // --- dispatch plumbing -------------------------------------------------------
 
-bool Vfs::needs_worker(std::uint32_t type) {
-  switch (type) {
-    case VFS_OPEN:
-    case VFS_STAT:
-    case VFS_UNLINK:
-    case VFS_MKDIR:
-    case VFS_RMDIR:
-    case VFS_RENAME:
-    case VFS_READDIR:
-    case VFS_TRUNC:
-    case VFS_SYNC:
-    case VFS_ACCESS:
-    case VFS_PM_EXEC:
-      return true;
-    default:
-      return false;  // READ/WRITE/FSTAT decide per-fd in handle()
-  }
+void Vfs::register_handlers() {
+  on_notify(VFS_DEV_DONE, &Vfs::do_dev_done);
+  // Inline operations: fd-table/pipe bookkeeping that never touches the disk.
+  on(VFS_PM_FORK, &Vfs::do_pm_fork);
+  on(VFS_PM_EXIT, &Vfs::do_pm_exit);
+  on(VFS_PIPE, &Vfs::do_pipe);
+  on(VFS_DUP, &Vfs::do_dup);
+  on(VFS_CLOSE, &Vfs::do_close);
+  on(VFS_LSEEK, &Vfs::do_lseek);
+  // READ/WRITE/FSTAT decide per fd kind whether they stay inline (pipes) or
+  // need a worker (regular files).
+  on(VFS_READ, &Vfs::do_rw);
+  on(VFS_WRITE, &Vfs::do_rw);
+  on(VFS_FSTAT, &Vfs::do_rw);
+  // Path/disk operations always run on a cooperative worker thread.
+  on(VFS_OPEN, &Vfs::do_worker_op);
+  on(VFS_STAT, &Vfs::do_worker_op);
+  on(VFS_UNLINK, &Vfs::do_worker_op);
+  on(VFS_MKDIR, &Vfs::do_worker_op);
+  on(VFS_RMDIR, &Vfs::do_worker_op);
+  on(VFS_RENAME, &Vfs::do_worker_op);
+  on(VFS_READDIR, &Vfs::do_worker_op);
+  on(VFS_TRUNC, &Vfs::do_worker_op);
+  on(VFS_SYNC, &Vfs::do_worker_op);
+  on(VFS_ACCESS, &Vfs::do_worker_op);
+  on(VFS_PM_EXEC, &Vfs::do_worker_op);
 }
 
-std::optional<Message> Vfs::handle(const Message& m) {
+void Vfs::on_message(const Message& /*m*/) {
   FI_BLOCK("vfs");
   st().ops += 1;
-  switch (m.type) {
-    case VFS_DEV_DONE | kernel::kNotifyBit:
-      on_dev_done(m.arg[0]);
-      return std::nullopt;
-    case VFS_PM_FORK:
-      return do_pm_fork(m);
-    case VFS_PM_EXIT:
-      return do_pm_exit(m);
-    case VFS_PIPE:
-      return do_pipe(m);
-    case VFS_DUP:
-      return do_dup(m);
-    case VFS_CLOSE:
-      return do_close(m);
-    case VFS_LSEEK:
-      return do_lseek(m);
-    case VFS_READ:
-    case VFS_WRITE:
-    case VFS_FSTAT: {
-      std::int64_t err = OK;
-      const std::size_t fidx = file_of(m, &err);
-      if (fidx == kNpos) return make_reply(m.type, err);
-      const FileKind kind = st().files.at(fidx).kind;
-      if (kind == FileKind::kPipeRead || kind == FileKind::kPipeWrite) {
-        if (m.type == VFS_READ) return do_pipe_read(m, fidx);
-        if (m.type == VFS_WRITE) return do_pipe_write(m, fidx);
-        Message r = make_reply(m.type, OK);  // fstat on a pipe
-        r.arg[1] = 0;
-        r.arg[2] = st().files.at(fidx).pos;
-        return r;
-      }
-      return start_or_queue(m);
-    }
-    default:
-      if (needs_worker(m.type)) return start_or_queue(m);
-      return make_reply(m.type, kernel::E_NOSYS);
-  }
 }
+
+std::optional<Message> Vfs::do_dev_done(const Message& m) {
+  on_dev_done(MsgView(m).u(0));
+  return std::nullopt;
+}
+
+std::optional<Message> Vfs::do_rw(const Message& m) {
+  std::int64_t err = OK;
+  const std::size_t fidx = file_of(m, &err);
+  if (fidx == kNpos) return make_reply(m.type, err);
+  const FileKind kind = st().files.at(fidx).kind;
+  if (kind == FileKind::kPipeRead || kind == FileKind::kPipeWrite) {
+    if (m.type == VFS_READ) return do_pipe_read(m, fidx);
+    if (m.type == VFS_WRITE) return do_pipe_write(m, fidx);
+    Message r = make_reply(m.type, OK);  // fstat on a pipe
+    r.arg[1] = 0;
+    r.arg[2] = st().files.at(fidx).pos;
+    return r;
+  }
+  return start_or_queue(m);
+}
+
+std::optional<Message> Vfs::do_worker_op(const Message& m) { return start_or_queue(m); }
 
 std::optional<Message> Vfs::start_or_queue(const Message& m) {
   FI_BLOCK("vfs");

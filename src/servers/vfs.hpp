@@ -104,10 +104,12 @@ class Vfs final : public ServerBase<VfsState> {
   [[nodiscard]] const fs::CacheStats& cache_stats() const { return cache_.stats(); }
 
  protected:
-  std::optional<kernel::Message> handle(const kernel::Message& m) override;
+  void on_message(const kernel::Message& m) override;
   void init_state() override {}
 
  private:
+  void register_handlers();
+
   struct Worker {
     std::unique_ptr<cothread::Fiber> fiber;
     bool busy = false;
@@ -131,7 +133,12 @@ class Vfs final : public ServerBase<VfsState> {
   };
 
   // --- dispatch plumbing -------------------------------------------------
-  [[nodiscard]] static bool needs_worker(std::uint32_t type);
+  /// Disk-completion notification (the simulated interrupt).
+  std::optional<kernel::Message> do_dev_done(const kernel::Message& m);
+  /// READ/WRITE/FSTAT route per fd kind: pipe ends inline, files to a worker.
+  std::optional<kernel::Message> do_rw(const kernel::Message& m);
+  /// Path/disk operations always run on a worker thread.
+  std::optional<kernel::Message> do_worker_op(const kernel::Message& m);
   std::optional<kernel::Message> start_or_queue(const kernel::Message& m);
   /// Resume `w`; returns its reply if the request completed.
   std::optional<kernel::Message> resume_worker(Worker& w);

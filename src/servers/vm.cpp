@@ -5,7 +5,6 @@ namespace osiris::servers {
 using kernel::E_INVAL;
 using kernel::E_NOMEM;
 using kernel::E_SRCH;
-using kernel::make_msg;
 using kernel::make_reply;
 using kernel::Message;
 using kernel::OK;
@@ -66,37 +65,31 @@ std::uint32_t Vm::release_frames(std::int32_t pid, std::uint32_t n) {
   return released;
 }
 
-std::optional<Message> Vm::handle(const Message& m) {
+void Vm::register_handlers() {
+  on(VM_FORK_AS, &Vm::do_fork_as);
+  on(VM_EXIT_AS, &Vm::do_exit_as);
+  on(VM_EXEC_AS, &Vm::do_exec_as);
+  on(VM_BRK_AS, &Vm::do_brk_as);
+  on(VM_MMAP, &Vm::do_mmap);
+  on(VM_MUNMAP, &Vm::do_munmap);
+  on(VM_INFO, &Vm::do_info);
+}
+
+void Vm::on_message(const Message&) { FI_BLOCK("vm"); }
+
+std::optional<Message> Vm::do_info(const Message& m) {
   FI_BLOCK("vm");
-  switch (m.type) {
-    case VM_FORK_AS:
-      return do_fork_as(m);
-    case VM_EXIT_AS:
-      return do_exit_as(m);
-    case VM_EXEC_AS:
-      return do_exec_as(m);
-    case VM_BRK_AS:
-      return do_brk_as(m);
-    case VM_MMAP:
-      return do_mmap(m);
-    case VM_MUNMAP:
-      return do_munmap(m);
-    case VM_INFO: {
-      FI_BLOCK("vm");
-      Message r = make_reply(m.type, OK);
-      r.arg[1] = st().free_frames;
-      r.arg[2] = kTotalFrames;
-      return r;
-    }
-    default:
-      return make_reply(m.type, kernel::E_NOSYS);
-  }
+  Message r = make_reply(m.type, OK);
+  r.arg[1] = st().free_frames;
+  r.arg[2] = kTotalFrames;
+  return r;
 }
 
 std::optional<Message> Vm::do_fork_as(const Message& m) {
   FI_BLOCK("vm");
-  const auto parent = static_cast<std::int32_t>(m.arg[0]);
-  const auto child = static_cast<std::int32_t>(m.arg[1]);
+  const MsgView v(m);
+  const std::int32_t parent = v.i32(0);
+  const std::int32_t child = v.i32(1);
   const std::size_t ps = space_of(parent);
   // PM only forks processes it knows; a missing parent space or an existing
   // child space means the VM and PM tables diverged (possible only after an
@@ -121,7 +114,7 @@ std::optional<Message> Vm::do_fork_as(const Message& m) {
 
   // Mirror the new mappings into the kernel's page tables (batched).
   // State-modifying SEEP: closes the window under both policies.
-  Message sys_r = seep_call(kSysEp, make_msg(SYS_MAP, child, 0, need));
+  Message sys_r = seep_call(kSysEp, encode(SYS_MAP, child, 0, need));
   FI_BLOCK("vm");
   SRV_CHECK(sys_r.sarg(0) == OK, "vm: kernel map failed on fork");
   // Post-fork frame audit (outside the window: the SYS_MAP SEEP closed it).
@@ -141,12 +134,12 @@ std::optional<Message> Vm::do_fork_as(const Message& m) {
 
 std::optional<Message> Vm::do_exit_as(const Message& m) {
   FI_BLOCK("vm");
-  const auto pid = static_cast<std::int32_t>(m.arg[0]);
+  const std::int32_t pid = MsgView(m).i32(0);
   const std::size_t s = space_of(pid);
   SRV_CHECK(s != kNpos, "vm: exit for unknown process (tables out of sync)");
   const std::uint32_t released = release_frames(pid, kTotalFrames);
   st().spaces.free(s);
-  Message sys_r = seep_call(kSysEp, make_msg(SYS_UNMAP, pid, 0, released));
+  Message sys_r = seep_call(kSysEp, encode(SYS_UNMAP, pid, 0, released));
   FI_BLOCK("vm");
   SRV_CHECK(sys_r.sarg(0) == OK || sys_r.sarg(0) == E_SRCH, "vm: kernel unmap failed on exit");
   FI_BLOCK("vm");
@@ -157,8 +150,9 @@ std::optional<Message> Vm::do_exit_as(const Message& m) {
 
 std::optional<Message> Vm::do_exec_as(const Message& m) {
   FI_BLOCK("vm");
-  const auto pid = static_cast<std::int32_t>(m.arg[0]);
-  const auto image_pages = static_cast<std::uint32_t>(m.arg[1]);
+  const MsgView v(m);
+  const std::int32_t pid = v.i32(0);
+  const auto image_pages = static_cast<std::uint32_t>(v.u(1));
   if (image_pages == 0 || image_pages > 1024) return make_reply(m.type, E_INVAL);
   const std::size_t s = space_of(pid);
   SRV_CHECK(s != kNpos, "vm: exec for unknown process (tables out of sync)");
@@ -176,9 +170,9 @@ std::optional<Message> Vm::do_exec_as(const Message& m) {
   for (auto& r : as.regions) r = VmRegion{};
 
   Message sys_r = seep_call(
-      kSysEp, make_msg(SYS_UNMAP, pid, 0, released));
+      kSysEp, encode(SYS_UNMAP, pid, 0, released));
   SRV_CHECK(sys_r.sarg(0) == OK, "vm: kernel unmap failed on exec");
-  sys_r = seep_call(kSysEp, make_msg(SYS_MAP, pid, 0, image_pages));
+  sys_r = seep_call(kSysEp, encode(SYS_MAP, pid, 0, image_pages));
   FI_BLOCK("vm");
   SRV_CHECK(sys_r.sarg(0) == OK, "vm: kernel map failed on exec");
   return make_reply(m.type, OK);
@@ -186,8 +180,9 @@ std::optional<Message> Vm::do_exec_as(const Message& m) {
 
 std::optional<Message> Vm::do_brk_as(const Message& m) {
   FI_BLOCK("vm");
-  const auto pid = static_cast<std::int32_t>(m.arg[0]);
-  const std::uint64_t want = m.arg[1];
+  const MsgView v(m);
+  const std::int32_t pid = v.i32(0);
+  const std::uint64_t want = v.u(1);
   const std::size_t s = space_of(pid);
   SRV_CHECK(s != kNpos, "vm: brk for unknown process (tables out of sync)");
   const VmAddrSpace& as = st().spaces.at(s);
@@ -199,12 +194,12 @@ std::optional<Message> Vm::do_brk_as(const Message& m) {
   if (want_pages > as.heap_pages) {
     const std::uint32_t grow = want_pages - as.heap_pages;
     if (!claim_frames(pid, grow)) return make_reply(m.type, E_NOMEM);
-    Message sys_r = seep_call(kSysEp, make_msg(SYS_MAP, pid, 0, grow));
+    Message sys_r = seep_call(kSysEp, encode(SYS_MAP, pid, 0, grow));
     SRV_CHECK(sys_r.sarg(0) == OK, "vm: kernel map failed on brk");
   } else if (want_pages < as.heap_pages) {
     const std::uint32_t shrink = as.heap_pages - want_pages;
     release_frames(pid, shrink);
-    Message sys_r = seep_call(kSysEp, make_msg(SYS_UNMAP, pid, 0, shrink));
+    Message sys_r = seep_call(kSysEp, encode(SYS_UNMAP, pid, 0, shrink));
     SRV_CHECK(sys_r.sarg(0) == OK, "vm: kernel unmap failed on brk");
   }
   auto& mas = st().spaces.mutate(s);
@@ -217,8 +212,9 @@ std::optional<Message> Vm::do_brk_as(const Message& m) {
 
 std::optional<Message> Vm::do_mmap(const Message& m) {
   FI_BLOCK("vm");
-  const auto pid = static_cast<std::int32_t>(m.arg[0]);
-  const std::uint64_t length = m.arg[1];
+  const MsgView v(m);
+  const std::int32_t pid = v.i32(0);
+  const std::uint64_t length = v.u(1);
   if (length == 0) return make_reply(m.type, E_INVAL);
   const std::size_t s = space_of(pid);
   if (s == kNpos) return make_reply(m.type, E_SRCH);
@@ -239,7 +235,7 @@ std::optional<Message> Vm::do_mmap(const Message& m) {
   auto& as = st().spaces.mutate(s);
   as.regions[free_region] = VmRegion{id, pages};
 
-  Message sys_r = seep_call(kSysEp, make_msg(SYS_MAP, pid, 0, pages));
+  Message sys_r = seep_call(kSysEp, encode(SYS_MAP, pid, 0, pages));
   FI_BLOCK("vm");
   SRV_CHECK(sys_r.sarg(0) == OK, "vm: kernel map failed on mmap");
   Message r = make_reply(m.type, OK);
@@ -249,8 +245,9 @@ std::optional<Message> Vm::do_mmap(const Message& m) {
 
 std::optional<Message> Vm::do_munmap(const Message& m) {
   FI_BLOCK("vm");
-  const auto pid = static_cast<std::int32_t>(m.arg[0]);
-  const auto id = static_cast<std::uint32_t>(m.arg[1]);
+  const MsgView v(m);
+  const std::int32_t pid = v.i32(0);
+  const auto id = static_cast<std::uint32_t>(v.u(1));
   const std::size_t s = space_of(pid);
   if (s == kNpos) return make_reply(m.type, E_SRCH);
 
@@ -259,7 +256,7 @@ std::optional<Message> Vm::do_munmap(const Message& m) {
     if (region.id == id) {
       release_frames(pid, region.pages);
       st().spaces.mutate(s).regions[i] = VmRegion{};
-      Message sys_r = seep_call(kSysEp, make_msg(SYS_UNMAP, pid, 0, region.pages));
+      Message sys_r = seep_call(kSysEp, encode(SYS_UNMAP, pid, 0, region.pages));
       SRV_CHECK(sys_r.sarg(0) == OK, "vm: kernel unmap failed on munmap");
       return make_reply(m.type, OK);
     }

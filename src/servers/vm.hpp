@@ -51,6 +51,7 @@ class Vm final : public ServerBase<VmState> {
      ckpt::Mode mode)
       : ServerBase(kernel, kernel::kVmEp, "vm", classification, policy, mode) {
     init_state();
+    register_handlers();
   }
 
   /// Boot: give the init process an address space.
@@ -65,10 +66,12 @@ class Vm final : public ServerBase<VmState> {
   }
 
  protected:
-  std::optional<kernel::Message> handle(const kernel::Message& m) override;
+  void on_message(const kernel::Message& m) override;
   void init_state() override;
 
  private:
+  void register_handlers();
+
   std::size_t space_of(std::int32_t pid) const;
 
   /// Claim `n` frames for `pid`; returns false (no partial claim) if the
@@ -83,6 +86,7 @@ class Vm final : public ServerBase<VmState> {
   std::optional<kernel::Message> do_brk_as(const kernel::Message& m);
   std::optional<kernel::Message> do_mmap(const kernel::Message& m);
   std::optional<kernel::Message> do_munmap(const kernel::Message& m);
+  std::optional<kernel::Message> do_info(const kernel::Message& m);
 };
 
 }  // namespace osiris::servers

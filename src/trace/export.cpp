@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "servers/msg_spec.hpp"
+
 namespace osiris::trace {
 
 EventRing& Tracer::ring_for_slow(std::size_t i) {
@@ -47,23 +49,32 @@ std::string Tracer::comp_label(std::int32_t comp) const {
 
 namespace {
 
+/// IPC events carry the message type in a2; everything else is plain numbers.
+bool carries_msg_type(EventKind k) {
+  return k == EventKind::kIpcSend || k == EventKind::kIpcNotify || k == EventKind::kIpcCall ||
+         k == EventKind::kIpcDeliver;
+}
+
 void append_line(std::string& out, const Event& e, const Tracer& tracer, bool with_seq) {
-  char buf[160];
+  // Resolve the message type through the spec registry: goldens read
+  // "IpcCall 1 2 PM_FORK" instead of a magic constant.
+  const std::string a2 = carries_msg_type(e.kind)
+                             ? servers::msg_label(static_cast<std::uint32_t>(e.a2))
+                             : std::to_string(e.a2);
+  char buf[192];
   if (with_seq) {
-    std::snprintf(buf, sizeof(buf), "%6llu @%-8llu %-8s %-20s %llu %llu %llu\n",
+    std::snprintf(buf, sizeof(buf), "%6llu @%-8llu %-8s %-20s %llu %llu %s\n",
                   static_cast<unsigned long long>(e.seq),
                   static_cast<unsigned long long>(e.tick),
                   tracer.comp_label(e.comp).c_str(), kind_name(e.kind),
                   static_cast<unsigned long long>(e.a0),
-                  static_cast<unsigned long long>(e.a1),
-                  static_cast<unsigned long long>(e.a2));
+                  static_cast<unsigned long long>(e.a1), a2.c_str());
   } else {
-    std::snprintf(buf, sizeof(buf), "@%-8llu %-8s %-20s %llu %llu %llu\n",
+    std::snprintf(buf, sizeof(buf), "@%-8llu %-8s %-20s %llu %llu %s\n",
                   static_cast<unsigned long long>(e.tick),
                   tracer.comp_label(e.comp).c_str(), kind_name(e.kind),
                   static_cast<unsigned long long>(e.a0),
-                  static_cast<unsigned long long>(e.a1),
-                  static_cast<unsigned long long>(e.a2));
+                  static_cast<unsigned long long>(e.a1), a2.c_str());
   }
   out += buf;
 }
@@ -107,10 +118,14 @@ std::string to_chrome_json(const std::vector<Event>& events, const Tracer& trace
   for (const Event& e : events) {
     const std::string common = "\"pid\":1,\"tid\":" + std::to_string(e.comp) +
                                ",\"ts\":" + std::to_string(e.tick);
-    const std::string args = "\"args\":{\"seq\":" + std::to_string(e.seq) +
-                             ",\"a0\":" + std::to_string(e.a0) +
-                             ",\"a1\":" + std::to_string(e.a1) +
-                             ",\"a2\":" + std::to_string(e.a2) + "}";
+    std::string args = "\"args\":{\"seq\":" + std::to_string(e.seq) +
+                       ",\"a0\":" + std::to_string(e.a0) +
+                       ",\"a1\":" + std::to_string(e.a1) +
+                       ",\"a2\":" + std::to_string(e.a2);
+    if (carries_msg_type(e.kind)) {
+      args += ",\"msg\":\"" + servers::msg_label(static_cast<std::uint32_t>(e.a2)) + "\"";
+    }
+    args += "}";
     switch (e.kind) {
       case EventKind::kWindowOpen:
         entry("{\"name\":\"recovery-window\",\"ph\":\"B\"," + common + "," + args + "}");

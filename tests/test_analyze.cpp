@@ -87,6 +87,10 @@ TEST(Analyze, FixtureSeedsEveryDetector) {
       {analyze::kDetStateConstCast, 1}, {analyze::kDetMutateEscape, 2},
       {analyze::kDetRawKernelSend, 1},  {analyze::kDetUnclassifiedSend, 1},
       {analyze::kDetUnclassifiedMsg, 1}, {analyze::kDetStaleClassEntry, 1},
+      {analyze::kDetSpecMissingHandler, 1},  // FX_DRIFT: row without a handler
+      {analyze::kDetHandlerWithoutSpec, 1},  // PM_ROGUE: handler without a row
+      {analyze::kDetHandlerKindDrift, 1},    // FX_NOTE: NOTE registered via on()
+      {analyze::kDetSpecOwnerDrift, 1},      // FX_NOTE: vm-owned, pm-registered
   };
   for (const auto& [detector, count] : expected) {
     const auto it = by.find(detector);
@@ -105,7 +109,8 @@ TEST(Analyze, ParsedClassificationAgreesWithRuntimeTable) {
   const analyze::Report& r = clean_report();
   const osiris::seep::Classification runtime = osiris::servers::build_classification();
 
-  // Same cardinality: every c.set() call was parsed, nothing extra.
+  // Same cardinality: every spec row was parsed, nothing extra. (The runtime
+  // table is itself derived from the spec, so this closes the loop.)
   EXPECT_EQ(r.classification.size(), runtime.size());
   EXPECT_EQ(r.messages.size(), runtime.size());  // complete table, no strays
 
@@ -118,6 +123,30 @@ TEST(Analyze, ParsedClassificationAgreesWithRuntimeTable) {
     const osiris::seep::MsgTraits t = runtime.get(it->second);
     EXPECT_EQ(t.seep, to_runtime(e.cls)) << e.msg;
     EXPECT_EQ(t.replyable, e.replyable) << e.msg;
+  }
+}
+
+TEST(Analyze, SpecTableParsedExactly) {
+  const analyze::Report& r = clean_report();
+  // The analyzer's textual parse of OSIRIS_MSG_SPEC must reproduce the
+  // compiled registry row for row — name, owner, class, kind and schema.
+  ASSERT_EQ(r.spec.size(), osiris::servers::kMsgSpecCount);
+  for (const auto& row : r.spec) {
+    const auto* s = osiris::servers::find_msg_spec(row.value);
+    ASSERT_NE(s, nullptr) << row.name;
+    EXPECT_EQ(row.name, s->name);
+    EXPECT_EQ(row.owner, s->server) << row.name;
+    EXPECT_EQ(to_runtime(row.cls), s->seep) << row.name;
+    EXPECT_EQ(row.kind == "NOTE", s->notify()) << row.name;
+    EXPECT_EQ(row.kind == "REQ", s->replyable()) << row.name;
+    EXPECT_EQ(row.args, static_cast<int>(s->args)) << row.name;
+    EXPECT_EQ(row.text, s->text) << row.name;
+  }
+  // And the handler extraction saw every server's register_handlers().
+  std::map<std::string, int> regs_by_server;
+  for (const auto& h : r.handlers) ++regs_by_server[h.server];
+  for (const char* server : {"pm", "vm", "vfs", "ds", "rs", "sys"}) {
+    EXPECT_GT(regs_by_server[server], 0) << server;
   }
 }
 

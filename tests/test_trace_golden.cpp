@@ -62,6 +62,7 @@ struct TraceRun {
   std::vector<trace::Event> landmarks; // recovery landmarks only
   std::string landmarks_text;          // unsequenced text of the landmarks
   std::string full_text;               // sequenced text of everything
+  std::string ipc_text;                // unsequenced text of the IPC events
 };
 
 /// Boot a traced instance (after `tweak`), arm via `arm`, run `body`.
@@ -88,6 +89,10 @@ TraceRun run_traced(const std::function<void(os::OsConfig&)>& tweak,
   r.landmarks = trace_test::recovery_landmarks(r.events);
   r.landmarks_text = trace::format_text_unsequenced(r.landmarks, tracer);
   r.full_text = trace::format_text(r.events, tracer);
+  const auto ipc = trace_test::filter_events(
+      r.events, {EventKind::kIpcSend, EventKind::kIpcNotify, EventKind::kIpcCall,
+                 EventKind::kIpcDeliver});
+  r.ipc_text = trace::format_text_unsequenced(ipc, tracer);
   return r;
 }
 
@@ -237,6 +242,32 @@ TEST(TraceGolden, BudgetExhaustionSkipsStraightToQuarantine) {
   EXPECT_TRUE(expect_absent(r.landmarks, Pat{EventKind::kRecoveryStateless, kDs}.with_a1(1)));
   EXPECT_TRUE(expect_absent(r.landmarks, Pat{EventKind::kRecoveryReadmit, kDs}));
   EXPECT_TRUE(trace_test::check_golden("ladder_budget_quarantine.trace", r.landmarks_text));
+}
+
+// --- Symbolic IPC golden: the spec-driven trace naming layer ----------------
+// A fault-free run, filtered to the IPC events, pins the protocol by *name*
+// (PM_FORK, VFS_OPEN, RS_PING+notify, ...) end to end: a renamed, renumbered
+// or misrouted spec row surfaces as a golden diff here, and an unregistered
+// type would render as bare hex.
+TEST(TraceGolden, SymbolicIpcNamesInFaultFreeRun) {
+  FiGuard guard;
+  const TraceRun r = run_traced(nullptr, nullptr, [](ISys& sys) {
+    const std::int64_t fd = sys.open("/tmp/gold", servers::O_CREAT | servers::O_RDWR);
+    sys.write_str(fd, "x");
+    sys.close(fd);
+    (void)sys.getpid();
+    sys.ds_publish("g.key", 7);
+  });
+  ASSERT_EQ(r.outcome, OsInstance::Outcome::kCompleted);
+  ASSERT_FALSE(r.ipc_text.empty());
+
+  // Every IPC event resolved through the spec registry: the trace text names
+  // the messages symbolically and never falls back to a hex literal.
+  EXPECT_NE(r.ipc_text.find("VFS_OPEN"), std::string::npos);
+  EXPECT_NE(r.ipc_text.find("PM_GETPID"), std::string::npos);
+  EXPECT_NE(r.ipc_text.find("DS_PUBLISH"), std::string::npos);
+  EXPECT_EQ(r.ipc_text.find(" 0x"), std::string::npos);
+  EXPECT_TRUE(trace_test::check_golden("ipc_symbolic.trace", r.ipc_text));
 }
 
 // --- Determinism: the full (sequenced) trace is byte-identical across runs

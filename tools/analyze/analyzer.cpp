@@ -136,7 +136,17 @@ Report analyze_tree(const std::string& root) {
     report.state_structs_checked += st.state_structs;
     report.state_fields_checked += st.state_fields;
 
-    // Pass 2 — SEEP analysis inputs.
+    // Pass 2 — SEEP analysis inputs. The declarative spec table is the
+    // primary source of message definitions and classes; `*Msg` enums and
+    // literal `c.set(...)` tables (pre-spec trees, fixtures) still parse.
+    if (stem == "msg_spec") {
+      auto rows = parse_spec_rows(f);
+      for (const SpecRow& r : rows) {
+        report.messages.push_back(MsgDef{r.name, r.value, "MsgSpec", r.file, r.line});
+        report.classification.push_back(ClassEntry{r.name, r.cls, r.kind == "REQ", r.file, r.line});
+      }
+      report.spec.insert(report.spec.end(), rows.begin(), rows.end());
+    }
     if (stem == "protocol") {
       auto msgs = parse_protocol_enums(f);
       report.messages.insert(report.messages.end(), msgs.begin(), msgs.end());
@@ -146,6 +156,8 @@ Report analyze_tree(const std::string& root) {
     if (server != nullptr) {
       auto sites = extract_send_sites(f, server);
       report.sites.insert(report.sites.end(), sites.begin(), sites.end());
+      auto regs = extract_handler_regs(f, server);
+      report.handlers.insert(report.handlers.end(), regs.begin(), regs.end());
     }
     // The recovery engine is RCB code: it legitimately uses raw kernel IPC
     // (no seep_* wrappers, no window — the RCB is assumed fault-free), but
@@ -158,6 +170,7 @@ Report analyze_tree(const std::string& root) {
   }
 
   resolve_and_predict(report);
+  crosscheck_spec_handlers(report);
 
   // Findings appended by pass 2 (cross-file resolution) could not consult
   // the per-file suppression map at creation time: filter them here.
@@ -193,6 +206,10 @@ std::string report_to_json(const Report& report) {
   j.num(static_cast<long long>(report.messages.size()));
   j.key("classification_entries");
   j.num(static_cast<long long>(report.classification.size()));
+  j.key("spec_rows");
+  j.num(static_cast<long long>(report.spec.size()));
+  j.key("handler_regs");
+  j.num(static_cast<long long>(report.handlers.size()));
 
   j.key("findings");
   j.open('[');

@@ -1,0 +1,15 @@
+// Fixture spec table: test data for osiris-analyze's spec cross-check —
+// this file is never compiled.
+//
+//   FX_PING  — healthy row: pm registers it via on().
+//   FX_DRIFT — no handler registration anywhere (spec-missing-handler).
+//   FX_NOTE  — owned by vm and declared NOTE, but pm registers it via on()
+//              (spec-owner-drift + handler-kind-drift). vm itself has no
+//              scanned registrations, so FX_NOTE must NOT also produce a
+//              spec-missing-handler finding.
+#pragma once
+
+#define OSIRIS_MSG_SPEC(X)                                                    \
+  X(FX_PING,  0x010, pm, NSM, REQ,  0, NOTEXT, "healthy row")                 \
+  X(FX_DRIFT, 0x011, pm, SM,  REQ,  1, NOTEXT, "row without a handler")       \
+  X(FX_NOTE,  0x012, vm, SM,  NOTE, 0, NOTEXT, "registered by pm via on()")

@@ -51,6 +51,12 @@ class Pm {
     seep_call(dst, make_msg(PM_MYSTERY, 0));  // unclassified-send
   }
 
+  void register_handlers() {
+    on(FX_PING, &Pm::do_ping);    // fine: owner and kind match the spec row
+    on(FX_NOTE, &Pm::do_note);    // spec-owner-drift + handler-kind-drift
+    on(PM_ROGUE, &Pm::do_rogue);  // handler-without-spec
+  }
+
  private:
   PmState state_;
   kernel::Endpoint ep_;

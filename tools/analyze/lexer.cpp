@@ -97,8 +97,22 @@ LexedFile lex_source(std::string path, std::string_view src) {
       i = stop;
       continue;
     }
-    // Preprocessor directive: skip to end of line (honouring continuations).
+    // Preprocessor directive: skip to end of line (honouring continuations) —
+    // except the OSIRIS_MSG_SPEC X-macro table, the protocol's single source
+    // of truth, whose body the spec pass must see. For it only the
+    // `#define OSIRIS_MSG_SPEC(X)` header is skipped; the row invocations lex
+    // as ordinary tokens (the continuation backslashes are eaten below).
     if (c == '#') {
+      constexpr std::string_view kSpecDefine = "define OSIRIS_MSG_SPEC(";
+      std::size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      if (src.substr(j).substr(0, kSpecDefine.size()) == kSpecDefine) {
+        const std::size_t close = src.find(')', j);
+        if (close != std::string_view::npos) {
+          i = close + 1;
+          continue;
+        }
+      }
       while (i < n && src[i] != '\n') {
         if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
           ++line;
@@ -107,6 +121,11 @@ LexedFile lex_source(std::string path, std::string_view src) {
         }
         ++i;
       }
+      continue;
+    }
+    // Line-continuation backslash (inside a lexed macro body): whitespace.
+    if (c == '\\' && i + 1 < n && src[i + 1] == '\n') {
+      ++i;
       continue;
     }
     // String literal.

@@ -27,6 +27,12 @@ inline constexpr const char* kDetRawKernelSend = "raw-kernel-send";
 inline constexpr const char* kDetUnclassifiedSend = "unclassified-send";
 inline constexpr const char* kDetUnclassifiedMsg = "unclassified-msg";
 inline constexpr const char* kDetStaleClassEntry = "stale-class-entry";
+// Pass 3 (spec cross-check) detectors: the declarative OSIRIS_MSG_SPEC table
+// vs the on()/on_notify()/on_reply() registrations in each server.
+inline constexpr const char* kDetSpecMissingHandler = "spec-missing-handler";
+inline constexpr const char* kDetHandlerWithoutSpec = "handler-without-spec";
+inline constexpr const char* kDetHandlerKindDrift = "handler-kind-drift";
+inline constexpr const char* kDetSpecOwnerDrift = "spec-owner-drift";
 
 struct Finding {
   std::string detector;
@@ -82,6 +88,29 @@ struct ClassEntry {
   int line = 0;
 };
 
+/// One row of the declarative OSIRIS_MSG_SPEC table (servers/msg_spec.hpp).
+struct SpecRow {
+  std::string name;
+  std::uint32_t value = 0;
+  std::string owner;  // pm / vm / vfs / ds / rs / sys / client / any
+  SeepClass cls = SeepClass::kStateModifying;
+  std::string kind;  // REQ / SEND / NOTE
+  int args = 0;
+  bool text = false;
+  std::string file;
+  int line = 0;
+};
+
+/// One handler registration (`on(...)` / `on_notify(...)` / `on_reply(...)`)
+/// in a server's register_handlers().
+struct HandlerReg {
+  std::string server;  // registering server
+  std::string msg;     // message-type constant
+  std::string kind;    // request / notify / reply
+  std::string file;
+  int line = 0;
+};
+
 /// One outbound SEEP call site in a server implementation.
 struct SendSite {
   std::string server;  // pm / vm / vfs / ds / rs / sys
@@ -117,6 +146,8 @@ struct Report {
   std::vector<Finding> findings;
   std::vector<MsgDef> messages;
   std::vector<ClassEntry> classification;
+  std::vector<SpecRow> spec;
+  std::vector<HandlerReg> handlers;
   std::vector<SendSite> sites;
   std::vector<ChannelEdge> edges;
   std::vector<WindowPrediction> predictions;

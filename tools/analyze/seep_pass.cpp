@@ -75,6 +75,12 @@ SeepClass seep_class_from_token(std::string_view name) {
   return SeepClass::kStateModifying;
 }
 
+/// Message factories whose first argument carries the type constant.
+bool is_msg_factory(const Token& tk) {
+  return tk.is_ident("make_msg") || tk.is_ident("make_reply") || tk.is_ident("encode") ||
+         tk.is_ident("encode_text");
+}
+
 }  // namespace
 
 const char* seep_class_name(SeepClass c) {
@@ -166,6 +172,13 @@ std::vector<ClassEntry> parse_classification(const LexedFile& f, std::vector<Fin
     e.file = f.path;
     e.line = t[i].line;
     e.msg = t[args[0].first].text;
+    // Derivation loops (`for (const MsgSpec& s : kMsgSpecTable) c.set(s.type,
+    // ...)`) are not literal entries: the spec rows themselves carry the
+    // classes, and the analyzer reads them via parse_spec_rows instead.
+    if (!looks_like_msg_constant(e.msg)) {
+      i = close;
+      continue;
+    }
 
     // Class argument: an alias identifier or a `SeepClass::kX` expression.
     const auto [ca, cb] = args[1];
@@ -203,15 +216,15 @@ std::vector<ClassEntry> parse_classification(const LexedFile& f, std::vector<Fin
 std::vector<SendSite> extract_send_sites(const LexedFile& f, const std::string& server) {
   std::vector<SendSite> out;
   const Tokens& t = f.tokens;
-  // Local `Message x = [kernel::]make_msg(TYPE...)` / make_reply bindings.
-  // The map is file-wide: variable uses always follow their definition, and
-  // redefinitions overwrite, which matches lexical order closely enough for
-  // straight-line handler code.
+  // Local `Message x = [kernel::]make_msg(TYPE...)` / make_reply / encode /
+  // encode_text bindings. The map is file-wide: variable uses always follow
+  // their definition, and redefinitions overwrite, which matches lexical
+  // order closely enough for straight-line handler code.
   std::map<std::string, std::string> var_msg;
 
   auto msg_from_factory = [&](std::size_t id_idx) -> std::string {
-    // id_idx points at `make_msg` / `make_reply`; the type is the first
-    // message constant of the first argument.
+    // id_idx points at a message factory; the type is the first message
+    // constant of the first argument.
     std::size_t open = id_idx + 1;
     if (open >= t.size() || !t[open].is("(")) return {};
     const std::size_t close = match_forward(t, open, "(", ")");
@@ -232,7 +245,7 @@ std::vector<SendSite> extract_send_sites(const LexedFile& f, const std::string& 
     if (t[i].is("Message") && i + 2 < t.size() && t[i + 1].kind == Tok::kIdent &&
         t[i + 2].is("=")) {
       for (std::size_t j = i + 3; j < t.size() && !t[j].is(";"); ++j) {
-        if (t[j].is_ident("make_msg") || t[j].is_ident("make_reply")) {
+        if (is_msg_factory(t[j])) {
           const std::string msg = msg_from_factory(j);
           if (!msg.empty()) var_msg[t[i + 1].text] = msg;
           break;
@@ -310,7 +323,7 @@ std::vector<SendSite> extract_send_sites(const LexedFile& f, const std::string& 
       const auto [ma, mb] = args[1];
       bool factory = false;
       for (std::size_t j = ma; j < mb; ++j) {
-        if (t[j].is_ident("make_msg") || t[j].is_ident("make_reply")) {
+        if (is_msg_factory(t[j])) {
           const std::string msg = msg_from_factory(j);
           if (!msg.empty()) site.msg = msg;
           factory = true;
@@ -373,7 +386,7 @@ std::vector<SendSite> extract_rcb_send_sites(const LexedFile& f) {
 
     site.msg = "<dynamic>";
     for (std::size_t j = open + 1; j < close; ++j) {
-      if (t[j].is_ident("make_msg") || t[j].is_ident("make_reply")) {
+      if (is_msg_factory(t[j])) {
         std::size_t f_open = j + 1;
         if (f_open < t.size() && t[f_open].is("(")) {
           const std::size_t f_close = match_forward(t, f_open, "(", ")");
@@ -397,6 +410,132 @@ std::vector<SendSite> extract_rcb_send_sites(const LexedFile& f) {
     i = close;
   }
   return out;
+}
+
+std::vector<SpecRow> parse_spec_rows(const LexedFile& f) {
+  std::vector<SpecRow> out;
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    // A row invocation `X(NAME, value, owner, CLS, KIND, nargs, text, doc)`
+    // of the spec X-macro. The expansion sites `OSIRIS_MSG_SPEC(X)` lex as
+    // `X` followed by `)`, so they cannot match here.
+    if (!t[i].is_ident("X") || !t[i + 1].is("(")) continue;
+    const std::size_t open = i + 1;
+    const std::size_t close = match_forward(t, open, "(", ")");
+    const auto args = split_args(t, open, close);
+    if (args.size() == 8 && t[args[0].first].kind == Tok::kIdent &&
+        looks_like_msg_constant(t[args[0].first].text)) {
+      SpecRow r;
+      r.name = t[args[0].first].text;
+      r.file = f.path;
+      r.line = t[args[0].first].line;
+      if (t[args[1].first].kind == Tok::kNumber) {
+        r.value =
+            static_cast<std::uint32_t>(std::strtoul(t[args[1].first].text.c_str(), nullptr, 0));
+      }
+      r.owner = t[args[2].first].text;
+      const std::string& cls = t[args[3].first].text;
+      r.cls = cls == "NSM"   ? SeepClass::kNonStateModifying
+              : cls == "RSC" ? SeepClass::kRequesterScoped
+                             : SeepClass::kStateModifying;
+      r.kind = t[args[4].first].text;
+      if (t[args[5].first].kind == Tok::kNumber) {
+        r.args = static_cast<int>(std::strtol(t[args[5].first].text.c_str(), nullptr, 0));
+      }
+      r.text = t[args[6].first].is_ident("TXT");
+      out.push_back(std::move(r));
+    }
+    i = close;
+  }
+  return out;
+}
+
+std::vector<HandlerReg> extract_handler_regs(const LexedFile& f, const std::string& server) {
+  std::vector<HandlerReg> out;
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    std::string kind;
+    if (t[i].is_ident("on")) kind = "request";
+    if (t[i].is_ident("on_notify")) kind = "notify";
+    if (t[i].is_ident("on_reply")) kind = "reply";
+    if (kind.empty() || !t[i + 1].is("(")) continue;
+    const std::size_t open = i + 1;
+    const std::size_t close = match_forward(t, open, "(", ")");
+    const auto args = split_args(t, open, close);
+    // Registrations carry (MSG_CONSTANT, &Server::handler); anything else
+    // (declarations, unrelated calls) lacks the constant or the second arg.
+    if (args.size() < 2) continue;
+    const std::string msg = first_msg_constant(t, args[0].first, args[0].second);
+    if (msg.empty()) continue;
+    out.push_back(HandlerReg{server, msg, kind, f.path, t[i].line});
+    i = close;
+  }
+  return out;
+}
+
+void crosscheck_spec_handlers(Report& report) {
+  if (report.spec.empty()) return;  // tree without a spec table: nothing to check
+
+  static const std::set<std::string> kServers = {"pm", "vm", "vfs", "ds", "rs", "sys"};
+  std::map<std::string, const SpecRow*> rows;
+  for (const SpecRow& r : report.spec) rows[r.name] = &r;
+
+  // Servers with at least one parsed registration: the spec-side
+  // completeness check only fires for them, so a partially scanned tree
+  // (like the fixture) does not produce findings for absent servers.
+  std::set<std::string> servers_seen;
+  for (const HandlerReg& h : report.handlers) servers_seen.insert(h.server);
+
+  std::set<std::string> handled;  // "msg:kind"
+  for (const HandlerReg& h : report.handlers) {
+    auto it = rows.find(h.msg);
+    if (it == rows.end()) {
+      report.findings.push_back(
+          Finding{kDetHandlerWithoutSpec, h.file, h.line,
+                  h.server + " registers a handler for " + h.msg +
+                      " which has no row in OSIRIS_MSG_SPEC"});
+      continue;
+    }
+    const SpecRow& r = *it->second;
+    handled.insert(h.msg + ":" + h.kind);
+    // Kind agreement mirrors the OSIRIS_ASSERTs in ServerCommon::on*():
+    // notifications register via on_notify(), requests and fire-and-forget
+    // sends via on(), and only replyable requests can have on_reply().
+    const bool kind_ok = (h.kind == "notify" && r.kind == "NOTE") ||
+                         (h.kind == "request" && (r.kind == "REQ" || r.kind == "SEND")) ||
+                         (h.kind == "reply" && r.kind == "REQ");
+    if (!kind_ok) {
+      report.findings.push_back(
+          Finding{kDetHandlerKindDrift, h.file, h.line,
+                  h.msg + " is declared " + r.kind + " in the spec but registered via " +
+                      (h.kind == "notify"  ? "on_notify()"
+                       : h.kind == "reply" ? "on_reply()"
+                                           : "on()")});
+    }
+    // Reply continuations live in the *requesting* server (e.g. PM's
+    // on_reply(VFS_PM_EXEC)): owner agreement applies only to request and
+    // notify registrations.
+    if (h.kind != "reply" && kServers.count(r.owner) != 0 && r.owner != h.server) {
+      report.findings.push_back(
+          Finding{kDetSpecOwnerDrift, h.file, h.line,
+                  h.msg + " is owned by " + r.owner + " in the spec but " + h.server +
+                      " registers its handler"});
+    }
+  }
+
+  // Spec side: every row owned by a scanned server must have a handler of
+  // the matching kind. "client"/"any" rows are delivered outside handler
+  // dispatch (user processes, subscribers, the ServerCommon heartbeat).
+  for (const SpecRow& r : report.spec) {
+    if (kServers.count(r.owner) == 0) continue;
+    if (servers_seen.count(r.owner) == 0) continue;
+    const std::string want = r.kind == "NOTE" ? "notify" : "request";
+    if (handled.count(r.name + ":" + want) != 0) continue;
+    report.findings.push_back(
+        Finding{kDetSpecMissingHandler, r.file, r.line,
+                r.name + " is owned by " + r.owner + " in the spec but no " + want +
+                    " handler is registered for it: dispatch would reject or drop it"});
+  }
 }
 
 void resolve_and_predict(Report& report) {

@@ -41,9 +41,24 @@ std::vector<SendSite> extract_send_sites(const LexedFile& f, const std::string& 
 /// announcements) belong in the channel graph under server "rcb".
 std::vector<SendSite> extract_rcb_send_sites(const LexedFile& f);
 
+/// Parse the rows of the declarative OSIRIS_MSG_SPEC X-macro table:
+/// `X(NAME, value, owner, CLS, KIND, nargs, TXT|NOTEXT, "doc")`. The lexer
+/// exposes the macro body specifically for this pass.
+std::vector<SpecRow> parse_spec_rows(const LexedFile& f);
+
+/// Extract `on(MSG, ...)` / `on_notify(MSG, ...)` / `on_reply(MSG, ...)`
+/// handler registrations from one server implementation file.
+std::vector<HandlerReg> extract_handler_regs(const LexedFile& f, const std::string& server);
+
 /// Cross-reference sites, enums and the classification: resolves each
 /// site's SEEP class, appends completeness findings, and fills the channel
 /// graph and the per-policy window predictions.
 void resolve_and_predict(Report& report);
+
+/// Pass 3 — spec cross-check: every handler registration must name a spec
+/// row of the matching delivery kind registered by the owning server, and
+/// every server-owned spec row must have a handler (RS_PING-style "any" and
+/// client-delivered rows are exempt). No-op when the tree has no spec table.
+void crosscheck_spec_handlers(Report& report);
 
 }  // namespace osiris::analyze
