@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 
 #include "ckpt/context.hpp"
 #include "seep/policy.hpp"
@@ -48,6 +49,17 @@ struct WindowStats {
   }
 };
 
+/// Per-message-type window accounting: which request opened the window when
+/// it closed or tainted. This is the runtime ground truth the static
+/// handler-granularity predictions (osiris-analyze Pass 4) are validated
+/// against.
+struct MsgWindowStats {
+  std::uint64_t opened = 0;
+  std::uint64_t closed_by_seep = 0;
+  std::uint64_t closed_by_yield = 0;
+  std::uint64_t tainted = 0;
+};
+
 class Window {
  public:
   Window(Policy policy, ckpt::Context& ctx) : policy_(policy), ctx_(ctx) {}
@@ -63,14 +75,18 @@ class Window {
   [[nodiscard]] bool is_tainted() const noexcept { return tainted_; }
 
   /// Top of the request processing loop: take the checkpoint and open the
-  /// window. Under non-window policies this is a no-op.
-  void open() {
+  /// window. Under non-window policies this is a no-op. `msg_type` (when
+  /// nonzero) attributes this window's eventual close/taint to the request
+  /// being processed, feeding the per-handler stats.
+  void open(std::uint32_t msg_type = 0) {
     if (!policy_uses_windows(policy_)) return;
     ctx_.log().checkpoint();
     open_ = true;
     tainted_ = false;
+    current_msg_ = msg_type;
     ctx_.set_window_open(true);
     ++stats_.opened;
+    if (msg_type != 0) ++per_msg_[msg_type].opened;
     OSIRIS_TRACE_EVENT(kWindowOpen, ctx_.trace_id());
   }
 
@@ -78,13 +94,17 @@ class Window {
   void on_outbound(SeepClass cls) {
     if (!open_) return;
     if (policy_taints_window(policy_, cls)) {
-      if (!tainted_) ++stats_.tainted;
+      if (!tainted_) {
+        ++stats_.tainted;
+        if (current_msg_ != 0) ++per_msg_[current_msg_].tainted;
+      }
       tainted_ = true;
       return;  // window survives: reconciliation will kill the requester
     }
     if (policy_closes_window(policy_, cls)) {
       close_common(kCloseCauseSeep, static_cast<std::uint64_t>(cls));
       ++stats_.closed_by_seep;
+      if (current_msg_ != 0) ++per_msg_[current_msg_].closed_by_seep;
     }
   }
 
@@ -93,6 +113,7 @@ class Window {
     if (open_) {
       close_common(kCloseCauseYield, 0);
       ++stats_.closed_by_yield;
+      if (current_msg_ != 0) ++per_msg_[current_msg_].closed_by_yield;
     }
   }
 
@@ -118,6 +139,11 @@ class Window {
 
   [[nodiscard]] const WindowStats& stats() const noexcept { return stats_; }
 
+  /// Close/taint accounting keyed by the message type passed to open().
+  [[nodiscard]] const std::map<std::uint32_t, MsgWindowStats>& per_msg_stats() const noexcept {
+    return per_msg_;
+  }
+
  private:
   void close_common([[maybe_unused]] std::uint64_t cause,
                     [[maybe_unused]] std::uint64_t seep_cls) {
@@ -133,7 +159,9 @@ class Window {
   ckpt::Context& ctx_;
   bool open_ = false;
   bool tainted_ = false;
+  std::uint32_t current_msg_ = 0;
   WindowStats stats_;
+  std::map<std::uint32_t, MsgWindowStats> per_msg_;
 };
 
 }  // namespace osiris::seep

@@ -240,6 +240,9 @@ std::optional<Message> Pm::do_fork(const Message& m) {
   SRV_CHECK(sys_r.sarg(0) == OK || sys_r.sarg(0) == kernel::E_CRASH,
             "pm: kernel slot for fresh pid refused (tables out of sync)");
   if (sys_r.sarg(0) != OK) {
+    // analyze-suppress(mutate-after-send): compensation on the refusal path —
+    // frees only the slot this request allocated; a crash here leaks at most
+    // one pid slot and cannot diverge cross-server state (SYS_FORK refused).
     st().procs.free(child_slot);
     return make_reply(m.type, E_AGAIN);
   }
@@ -330,6 +333,9 @@ void Pm::terminate_proc(std::size_t slot, std::int64_t status) {
   st().procs.for_each([&](std::size_t i, const PmProc& p) {
     if (p.parent == pid && i != slot) {
       FI_BLOCK("pm");  // mid-mutation: partial reparenting on crash
+      // analyze-suppress(mutate-after-send): exit teardown is deliberately
+      // ordered kernel-first (VFS/SYS informed before PM commits); reparenting
+      // is idempotent, so a post-close crash replays to the same state.
       st().procs.mutate(i).parent = 1;
     }
   });
@@ -502,6 +508,9 @@ std::optional<Message> Pm::do_brk(const Message& m) {
   Message vm_r = seep_call(kernel::kVmEp, encode(VM_BRK_AS, pid, want));
   FI_BLOCK("pm");
   if (vm_r.sarg(0) < 0) return make_reply(m.type, vm_r.sarg(0));
+  // analyze-suppress(mutate-after-send): records VM's committed break value
+  // from the reply — VM is authoritative, so replaying VM_BRK_AS after a
+  // post-close crash re-derives the identical value (idempotent commit).
   st().procs.mutate(slot).brk = vm_r.arg[1];
   Message r = make_reply(m.type, OK);
   r.arg[1] = vm_r.arg[1];

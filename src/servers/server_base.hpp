@@ -126,7 +126,10 @@ class ServerCommon : public kernel::IServer, public recovery::Recoverable {
     // sender is long gone — in both cases a rollback could never be
     // reconciled, so the window (conservatively) stays closed.
     if (spec->replyable() && !is_notify && !is_reply) {
-      window_.open();
+      // Attribute the window to the request's message type: the per-msg
+      // close/taint stats are the runtime ground truth for the Pass 4
+      // handler-granularity predictions.
+      window_.open(m.type);
     }
 
     on_message(m);

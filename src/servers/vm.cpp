@@ -55,6 +55,9 @@ std::uint32_t Vm::release_frames(std::int32_t pid, std::uint32_t n) {
   for (std::uint32_t f = 0; f < kTotalFrames && released < n; ++f) {
     if (st().frame_owner.at(f) == pid) {
       if (released % 8 == 4) FI_BLOCK("vm");  // mid-mutation fault candidates
+      // analyze-suppress(mutate-after-send): frame release runs after the
+      // kernel mapping update by design (the kernel map is authoritative);
+      // the ownership sweep is idempotent, so post-close replay converges.
       st().frame_owner.set(f, 0);
       ++released;
     }
@@ -127,6 +130,8 @@ std::optional<Message> Vm::do_fork_as(const Message& m) {
   FI_BLOCK("vm");
   SRV_CHECK(st().spaces.at(cs).pid == child, "vm: child space pid mismatch");
   FI_BLOCK("vm");
+  // analyze-suppress(mutate-after-send): semantic no-op (+= 0) kept as an
+  // undo-log audit barrier for the fault-injection probes around it.
   st().allocs += 0;  // accounting barrier
   FI_BLOCK("vm");
   return make_reply(m.type, OK);

@@ -91,6 +91,16 @@ TEST(Analyze, FixtureSeedsEveryDetector) {
       {analyze::kDetHandlerWithoutSpec, 1},  // PM_ROGUE: handler without a row
       {analyze::kDetHandlerKindDrift, 1},    // FX_NOTE: NOTE registered via on()
       {analyze::kDetSpecOwnerDrift, 1},      // FX_NOTE: vm-owned, pm-registered
+      // Pass 4 (ds.cpp seeds). One finding each — and exactly one: the
+      // unreached_helper escape must NOT be reported (reachability-rooted),
+      // and repeated traversals must not duplicate site findings.
+      {analyze::kDetBlockingInHandler, 1},   // wait_for_disk's read_now
+      {analyze::kDetMutateAfterSend, 1},     // counter store after FX_POKE
+      {analyze::kDetUnsummarizedCallee, 1},  // mystery_helper
+      {analyze::kDetNondetPointerKey, 1},    // std::map<const Obj*, int>
+      {analyze::kDetNondetAddrHash, 1},      // std::hash<const Obj*>
+      {analyze::kDetNondetWallClock, 1},     // steady_clock
+      {analyze::kDetNondetRand, 1},          // rand()
   };
   for (const auto& [detector, count] : expected) {
     const auto it = by.find(detector);

@@ -5,7 +5,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "callgraph.hpp"
 #include "discipline.hpp"
+#include "effects.hpp"
 #include "lexer.hpp"
 #include "seep_pass.hpp"
 
@@ -167,10 +169,20 @@ Report analyze_tree(const std::string& root) {
       auto sites = extract_rcb_send_sites(f);
       report.sites.insert(report.sites.end(), sites.begin(), sites.end());
     }
+
+    // Pass 4 (determinism lint) — file-local, so it runs in the per-file
+    // loop. src/support (where rng.hpp lives) is outside the scanned dirs,
+    // making the sanctioned randomness wrapper structurally exempt.
+    run_determinism_pass(f, report.findings);
   }
 
   resolve_and_predict(report);
   crosscheck_spec_handlers(report);
+
+  // Pass 4 (effects) — needs Pass 2's resolved site classes and Pass 3's
+  // handler registrations, so it runs after cross-file resolution.
+  const CallGraph graph = build_call_graph(files);
+  run_effects_pass(files, graph, report);
 
   // Findings appended by pass 2 (cross-file resolution) could not consult
   // the per-file suppression map at creation time: filter them here.
@@ -210,6 +222,8 @@ std::string report_to_json(const Report& report) {
   j.num(static_cast<long long>(report.spec.size()));
   j.key("handler_regs");
   j.num(static_cast<long long>(report.handlers.size()));
+  j.key("handler_effects");
+  j.num(static_cast<long long>(report.handler_effects.size()));
 
   j.key("findings");
   j.open('[');
@@ -291,6 +305,143 @@ std::string report_to_json(const Report& report) {
       j.key(std::string(policy_name(pol)) + "_may_taint");
       j.boolean(p.may_taint[pi]);
     }
+    j.close('}');
+  }
+  j.close(']');
+
+  j.close('}');
+  j.s += '\n';
+  return j.s;
+}
+
+std::string handler_effects_to_json(const Report& report, const std::string& root) {
+  Json j;
+  j.open('{');
+  j.key("schema_version");
+  j.num(1);
+  j.key("root");
+  j.str(root);
+  j.key("policies");
+  j.open('[');
+  for (int pi = 0; pi < kNumPolicies; ++pi) {
+    j.sep();
+    j.str(policy_name(static_cast<Policy>(pi)));
+  }
+  j.close(']');
+
+  j.key("handlers");
+  j.open('[');
+  for (const HandlerEffects& h : report.handler_effects) {
+    j.sep();
+    j.open('{');
+    j.key("server");
+    j.str(h.server);
+    j.key("msg");
+    j.str(h.msg);
+    j.key("kind");
+    j.str(h.kind);
+    j.key("fn");
+    j.str(h.fn);
+    j.key("file");
+    j.str(h.file);
+    j.key("line");
+    j.num(h.line);
+    j.key("has_body");
+    j.boolean(h.has_body);
+    j.key("opens_window");
+    j.boolean(h.opens_window);
+    j.key("recursive");
+    j.boolean(h.recursive);
+    j.key("has_unbounded_loop");
+    j.boolean(h.has_unbounded_loop);
+    j.key("unresolved_callees");
+    j.num(h.unresolved_callees);
+    j.key("mutations_total");
+    j.num(h.mutations_total);
+    j.key("mutations_after_close");
+    j.num(h.mutations_after_close);
+    j.key("may_close_by_yield");
+    j.boolean(h.may_close_by_yield);
+    j.key("predictions");
+    j.open('{');
+    for (int pi = 0; pi < kNumPolicies; ++pi) {
+      j.key(policy_name(static_cast<Policy>(pi)));
+      j.open('{');
+      j.key("may_close_by_seep");
+      j.boolean(h.may_close_by_seep[pi]);
+      j.key("may_taint");
+      j.boolean(h.may_taint[pi]);
+      j.close('}');
+    }
+    j.close('}');
+    j.key("effects");
+    j.open('[');
+    for (const Effect& e : h.effects) {
+      j.sep();
+      j.open('{');
+      j.key("kind");
+      j.str(effect_kind_name(e.kind));
+      j.key("detail");
+      j.str(e.detail);
+      if (e.kind == EffectKind::kSend) {
+        j.key("msg");
+        j.str(e.msg);
+        j.key("dst");
+        j.str(e.dst);
+        j.key("class");
+        j.str(seep_class_name(e.cls));
+        j.key("classified");
+        j.boolean(e.classified);
+        j.key("sync");
+        j.boolean(e.sync);
+      }
+      j.key("file");
+      j.str(e.file);
+      j.key("line");
+      j.num(e.line);
+      j.close('}');
+    }
+    j.close(']');
+    j.close('}');
+  }
+  j.close(']');
+
+  // The FOM worklist (ROADMAP item 2): every distinct blocking point with
+  // the handler rows it is reachable from.
+  struct Point {
+    std::string detail;
+    std::vector<std::string> handlers;
+  };
+  std::map<std::pair<std::string, int>, Point> points;
+  for (const HandlerEffects& h : report.handler_effects) {
+    for (const Effect& e : h.effects) {
+      if (e.kind != EffectKind::kBlocking) continue;
+      Point& p = points[{e.file, e.line}];
+      p.detail = e.detail;
+      const std::string id = h.server + "/" + h.msg;
+      if (std::find(p.handlers.begin(), p.handlers.end(), id) == p.handlers.end()) {
+        p.handlers.push_back(id);
+      }
+    }
+  }
+  j.key("blocking_points");
+  j.open('[');
+  for (const auto& [loc, p] : points) {
+    j.sep();
+    j.open('{');
+    j.key("file");
+    j.str(loc.first);
+    j.key("line");
+    j.num(loc.second);
+    j.key("detail");
+    j.str(p.detail);
+    j.key("handlers");
+    j.open('[');
+    for (const std::string& id : p.handlers) {
+      j.sep();
+      j.str(id);
+    }
+    j.close(']');
     j.close('}');
   }
   j.close(']');

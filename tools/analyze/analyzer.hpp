@@ -17,4 +17,9 @@ Report analyze_tree(const std::string& root);
 /// writes next to the build).
 std::string report_to_json(const Report& report);
 
+/// Render the Pass 4 handler-effect summaries as the standalone
+/// handler_effects.json artifact (schema documented in DESIGN.md §13; the
+/// ctest schema-stability gate pins its key set).
+std::string handler_effects_to_json(const Report& report, const std::string& root);
+
 }  // namespace osiris::analyze

@@ -190,6 +190,10 @@ LexedFile lex_file(const std::string& path, std::string display_path) {
   std::ostringstream ss;
   ss << in.rdbuf();
   const std::string src = ss.str();
+  // An empty input is never a legitimate source or fixture file — it is a
+  // stray artifact (touch, failed checkout) that would silently analyze as
+  // "clean"; fail loudly instead.
+  if (src.empty()) throw std::runtime_error("osiris-analyze: empty input " + path);
   return lex_source(display_path.empty() ? path : std::move(display_path), src);
 }
 

@@ -14,10 +14,12 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0 << " [--root DIR] [--json FILE] [--quiet]\n"
-            << "  --root DIR   repository root to analyze (default: .)\n"
-            << "  --json FILE  write the machine-readable report to FILE\n"
-            << "  --quiet      suppress the summary (findings still print)\n";
+  std::cerr << "usage: " << argv0 << " [--root DIR] [--json FILE] [--effects [FILE]] [--quiet]\n"
+            << "  --root DIR       repository root to analyze (default: .)\n"
+            << "  --json FILE      write the machine-readable report to FILE\n"
+            << "  --effects [FILE] write Pass 4 per-handler effect summaries to FILE\n"
+            << "                   (default: handler_effects.json)\n"
+            << "  --quiet          suppress the summary (findings still print)\n";
   return 2;
 }
 
@@ -26,6 +28,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string json_path;
+  std::string effects_path;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -34,6 +37,9 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--effects") {
+      effects_path = "handler_effects.json";
+      if (i + 1 < argc && argv[i + 1][0] != '-') effects_path = argv[++i];
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -56,6 +62,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << osiris::analyze::report_to_json(report);
+  }
+  if (!effects_path.empty()) {
+    std::ofstream out(effects_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "osiris-analyze: cannot write " << effects_path << '\n';
+      return 2;
+    }
+    out << osiris::analyze::handler_effects_to_json(report, root);
   }
 
   for (const auto& f : report.findings) {

@@ -33,6 +33,17 @@ inline constexpr const char* kDetSpecMissingHandler = "spec-missing-handler";
 inline constexpr const char* kDetHandlerWithoutSpec = "handler-without-spec";
 inline constexpr const char* kDetHandlerKindDrift = "handler-kind-drift";
 inline constexpr const char* kDetSpecOwnerDrift = "spec-owner-drift";
+// Pass 4 (effects) detectors: flow-sensitive per-handler effect summaries
+// over the interprocedural call graph.
+inline constexpr const char* kDetMutateAfterSend = "mutate-after-send";
+inline constexpr const char* kDetBlockingInHandler = "blocking-in-handler";
+inline constexpr const char* kDetUnsummarizedCallee = "unsummarized-callee";
+// Determinism lint (the PR 4 bug class: anything that makes traces or
+// campaign merges depend on heap layout, wall-clock time or an unseeded RNG).
+inline constexpr const char* kDetNondetPointerKey = "nondet-pointer-key";
+inline constexpr const char* kDetNondetAddrHash = "nondet-addr-hash";
+inline constexpr const char* kDetNondetWallClock = "nondet-wallclock";
+inline constexpr const char* kDetNondetRand = "nondet-rand";
 
 struct Finding {
   std::string detector;
@@ -107,6 +118,7 @@ struct HandlerReg {
   std::string server;  // registering server
   std::string msg;     // message-type constant
   std::string kind;    // request / notify / reply
+  std::string fn;      // handler member function (`&Pm::do_fork` -> "do_fork")
   std::string file;
   int line = 0;
 };
@@ -142,6 +154,62 @@ struct WindowPrediction {
   std::vector<SeepClass> classes_used;
 };
 
+// --- Pass 4: interprocedural handler-effect summaries -----------------------
+
+/// One element of a handler's flattened, flow-ordered effect sequence.
+enum class EffectKind : std::uint8_t {
+  kMutation,       // ckpt store mutation through a st()-rooted wrapper chain
+  kSend,           // outbound SEEP (seep_* wrapper or explicit on_outbound)
+  kBlocking,       // fiber suspend or synchronous blockdev wait
+  kYield,          // explicit window().on_yield() force-close marker
+  kUnboundedLoop,  // `for (;;)` / `while (true)` in the flow
+  kRecursiveCall,  // summarization hit a call cycle and cut it here
+  kUnresolvedCall  // callee with no definition and no intrinsic model
+};
+
+const char* effect_kind_name(EffectKind k);
+
+struct Effect {
+  EffectKind kind = EffectKind::kMutation;
+  std::string detail;  // mutation chain / blocking kind / callee name
+  std::string msg;     // kSend: message constant ("<explicit>", "<dynamic>")
+  std::string dst;     // kSend: destination server or "client"/"<domain>"
+  SeepClass cls = SeepClass::kStateModifying;  // kSend only
+  bool classified = false;                     // kSend: class statically known
+  bool sync = false;                           // kSend: seep_call (blocks for reply)
+  std::string file;
+  int line = 0;
+};
+
+/// Effect summary + window prediction for one handler registration (one
+/// (server, msg, kind) row of the dispatch table).
+struct HandlerEffects {
+  std::string server;
+  std::string msg;
+  std::string kind;  // request / notify / reply
+  std::string fn;    // handler member function name
+  std::string file;  // handler definition location (registration site when
+  int line = 0;      // the body was not found)
+  bool has_body = false;
+  /// REQ-kind requests open the window at dispatch; notifications, replies
+  /// and fire-and-forget sends never do (ServerCommon::dispatch).
+  bool opens_window = false;
+  std::vector<Effect> effects;  // flattened, in straight-line flow order
+  bool recursive = false;
+  bool has_unbounded_loop = false;
+  int unresolved_callees = 0;
+  int mutations_total = 0;
+  /// Mutations ordered after the first window-closing send under the
+  /// enhanced policy (the straight-line approximation of the paper's
+  /// "dirtied past the point of no rollback" set).
+  int mutations_after_close = 0;
+  /// Handler-granularity window predictions (existential over the effect
+  /// sequence — sound against branches skipping any prefix).
+  bool may_close_by_seep[kNumPolicies] = {false, false, false};
+  bool may_taint[kNumPolicies] = {false, false, false};
+  bool may_close_by_yield = false;  // any blocking/yield effect in the flow
+};
+
 struct Report {
   std::vector<Finding> findings;
   std::vector<MsgDef> messages;
@@ -151,12 +219,16 @@ struct Report {
   std::vector<SendSite> sites;
   std::vector<ChannelEdge> edges;
   std::vector<WindowPrediction> predictions;
+  std::vector<HandlerEffects> handler_effects;
   int files_scanned = 0;
   int state_structs_checked = 0;
   int state_fields_checked = 0;
 
   [[nodiscard]] std::map<std::string, int> findings_by_detector() const;
   [[nodiscard]] const WindowPrediction* prediction_for(const std::string& server) const;
+  [[nodiscard]] const HandlerEffects* effects_for(const std::string& server,
+                                                  const std::string& msg,
+                                                  const std::string& kind) const;
 };
 
 }  // namespace osiris::analyze

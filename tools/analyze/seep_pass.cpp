@@ -467,7 +467,12 @@ std::vector<HandlerReg> extract_handler_regs(const LexedFile& f, const std::stri
     if (args.size() < 2) continue;
     const std::string msg = first_msg_constant(t, args[0].first, args[0].second);
     if (msg.empty()) continue;
-    out.push_back(HandlerReg{server, msg, kind, f.path, t[i].line});
+    // Handler function name: the last identifier of `&Server::handler`.
+    std::string fn;
+    for (std::size_t j = args[1].first; j < args[1].second; ++j) {
+      if (t[j].kind == Tok::kIdent) fn = t[j].text;
+    }
+    out.push_back(HandlerReg{server, msg, kind, fn, f.path, t[i].line});
     i = close;
   }
   return out;
