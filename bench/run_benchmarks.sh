@@ -1,34 +1,66 @@
 #!/usr/bin/env sh
-# Run the checkpointing microbenchmarks and record the results as
-# BENCH_ckpt.json at the repository root — the perf trajectory file that CI
-# uploads as an artifact so future PRs can diff hot-path numbers.
+# Run the perf-trajectory benchmarks and record their results at the
+# repository root — the files CI uploads as artifacts so future PRs can diff
+# hot-path numbers:
 #
-# Usage: bench/run_benchmarks.sh [build-dir] [output-json]
-#   build-dir    cmake build tree containing bench/ckpt_microbench
-#                (default: build)
-#   output-json  where to write the results (default: BENCH_ckpt.json next
-#                to this script's repository root)
+#   BENCH_ckpt.json     checkpointing microbenchmarks (google-benchmark)
+#   BENCH_serving.json  open-loop serving load, baseline vs fast-path columns
+#
+# Usage: bench/run_benchmarks.sh [--ckpt-only|--serving-only] [build-dir]
+#   build-dir  cmake build tree containing the bench binaries (default: build)
+#
+# Fails loudly (non-zero) if a selected bench binary is missing: a silently
+# skipped benchmark would leave a stale trajectory file for CI to upload.
 set -eu
 
 script_dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 repo_root=$(dirname -- "$script_dir")
 
-build_dir=${1:-"$repo_root/build"}
-out=${2:-"$repo_root/BENCH_ckpt.json"}
+run_ckpt=1
+run_serving=1
+case "${1:-}" in
+  --ckpt-only) run_serving=0; shift ;;
+  --serving-only) run_ckpt=0; shift ;;
+esac
 
-bench_bin="$build_dir/bench/ckpt_microbench"
-if [ ! -x "$bench_bin" ]; then
-  echo "error: $bench_bin not found or not executable." >&2
-  echo "build it first: cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' --target ckpt_microbench" >&2
-  exit 1
+build_dir=${1:-"$repo_root/build"}
+status=0
+
+require_bin() {
+  if [ ! -x "$1" ]; then
+    echo "error: $1 not found or not executable." >&2
+    echo "build it first: cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' --target $2" >&2
+    return 1
+  fi
+}
+
+if [ "$run_ckpt" = 1 ]; then
+  ckpt_bin="$build_dir/bench/ckpt_microbench"
+  if require_bin "$ckpt_bin" ckpt_microbench; then
+    # benchmark_repetitions keeps runs short but smooths scheduler noise;
+    # report_aggregates_only keeps the JSON diffable (mean/median/stddev rows).
+    "$ckpt_bin" \
+      --benchmark_format=json \
+      --benchmark_repetitions=3 \
+      --benchmark_report_aggregates_only=true \
+      > "$repo_root/BENCH_ckpt.json"
+    echo "wrote $repo_root/BENCH_ckpt.json"
+  else
+    status=1
+  fi
 fi
 
-# benchmark_repetitions keeps runs short but smooths scheduler noise;
-# report_aggregates_only keeps the JSON diffable (mean/median/stddev rows).
-"$bench_bin" \
-  --benchmark_format=json \
-  --benchmark_repetitions=3 \
-  --benchmark_report_aggregates_only=true \
-  > "$out"
+if [ "$run_serving" = 1 ]; then
+  serving_bin="$build_dir/bench/serving_load"
+  if require_bin "$serving_bin" serving_load; then
+    "$serving_bin" \
+      --clients "${OSIRIS_SERVING_CLIENTS:-32}" \
+      --seconds "${OSIRIS_SERVING_SECONDS:-2}" \
+      --out "$repo_root/BENCH_serving.json"
+    echo "wrote $repo_root/BENCH_serving.json"
+  else
+    status=1
+  fi
+fi
 
-echo "wrote $out"
+exit $status

@@ -36,6 +36,7 @@ struct UndoLogStats {
   std::size_t max_log_bytes = 0;    // high-water mark of live log size (Table VI)
   std::uint64_t rollbacks = 0;
   std::uint64_t checkpoints = 0;    // reset() calls
+  std::uint64_t checkpoints_skipped = 0;  // lazy checkpoints elided on a clean log
 };
 
 class UndoLog {
@@ -56,6 +57,21 @@ class UndoLog {
 
   /// Discard the log: this *is* checkpoint creation at the top of the loop.
   void checkpoint();
+
+  /// Lazy checkpoint: elide the reset when the log is already clean.
+  /// Observationally identical to checkpoint() — an empty log emits no
+  /// kUndoTruncate either way and the filter holds no live entries — so the
+  /// skip is trace-invariant. This is what makes "one physical checkpoint
+  /// per dispatch batch" fall out of SEEP classification: NSM handlers never
+  /// dirty the log, so every window open after the batch's first finds it
+  /// clean (DESIGN.md §14).
+  void checkpoint_if_dirty() {
+    if (n_entries_ == 0 && data_bytes_ == 0 && filter_live_ == 0) {
+      ++stats_.checkpoints_skipped;
+      return;
+    }
+    checkpoint();
+  }
 
   [[nodiscard]] bool empty() const noexcept { return n_entries_ == 0; }
   [[nodiscard]] std::size_t entry_count() const noexcept { return n_entries_; }

@@ -19,6 +19,7 @@ struct ComponentMetrics {
   std::size_t clone_bytes = 0;        // Table VI "+clone"
   std::size_t max_undo_log_bytes = 0;  // Table VI "+undo log"
   std::uint64_t undo_records = 0;
+  std::uint64_t checkpoints_skipped = 0;  // lazy checkpoints elided (DESIGN.md §14)
   std::uint32_t recoveries = 0;
 
   // Event tracing (zero unless the run had cfg.trace_enabled on an
@@ -37,6 +38,18 @@ struct SystemMetrics {
   std::uint64_t nested_calls = 0;
   std::uint64_t crashes = 0;
   std::uint64_t hangs = 0;
+
+  // IPC fast path (DESIGN.md §14): queue depth, dispatch batching, and
+  // zero-copy accounting. All zero when the corresponding flags are off,
+  // except queue_high_water which the kernel always tracks.
+  std::uint64_t queue_high_water = 0;
+  std::uint64_t arena_spills = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_messages = 0;
+  std::uint64_t batch_hist[kernel::kBatchHistBuckets] = {};
+  std::uint64_t safecopy_bytes = 0;
+  std::uint64_t grant_bypass_bytes = 0;
+  std::uint64_t grant_spans = 0;
 
   // recovery engine
   std::uint64_t restarts = 0;

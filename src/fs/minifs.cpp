@@ -97,9 +97,13 @@ DiskInode MiniFs::load_inode(Ino ino) {
   OSIRIS_ASSERT(valid_ino(ino));
   const std::uint32_t blk_idx = (ino - 1) / kInodesPerBlock;
   const std::uint32_t slot = (ino - 1) % kInodesPerBlock;
+  DiskInode di;
+  if (const std::byte* p = store_.peek_block(sb_.inode_start + blk_idx)) {
+    std::memcpy(&di, p + slot * sizeof(DiskInode), sizeof di);
+    return di;
+  }
   alignas(8) std::byte blk[kBlockSize];
   store_.read_block(sb_.inode_start + blk_idx, std::span<std::byte, kBlockSize>(blk));
-  DiskInode di;
   std::memcpy(&di, blk + slot * sizeof(DiskInode), sizeof di);
   return di;
 }
@@ -194,6 +198,11 @@ std::uint32_t MiniFs::bmap(DiskInode& di, bool* dirty, std::uint32_t fbn, bool a
     }
   }
   return ptrs[idx];
+}
+
+const std::uint32_t* MiniFs::peek_indirect(const DiskInode& di) {
+  if (di.indirect == 0) return nullptr;
+  return reinterpret_cast<const std::uint32_t*>(store_.peek_block(di.indirect));
 }
 
 std::int64_t MiniFs::lookup(Ino dir, std::string_view name) {
@@ -392,17 +401,31 @@ std::int64_t MiniFs::read(Ino ino, std::uint32_t offset, std::span<std::byte> ou
   std::size_t done = 0;
   alignas(8) std::byte blk[kBlockSize];
   bool dirty = false;
+  // Borrow the indirect block once instead of re-reading it per data block.
+  // Any fallback read_block may evict the borrowed entry, so re-borrow after.
+  const std::uint32_t* ind = peek_indirect(di);
   while (done < want) {
     const std::uint32_t pos = offset + static_cast<std::uint32_t>(done);
     const std::uint32_t fbn = pos / kBlockSize;
     const std::uint32_t in_blk = pos % kBlockSize;
     const std::size_t chunk = std::min<std::size_t>(want - done, kBlockSize - in_blk);
-    const std::uint32_t bno = bmap(di, &dirty, fbn, false);
+    std::uint32_t bno;
+    if (fbn < kDirect) {
+      bno = di.direct[fbn];
+    } else if (ind != nullptr && fbn - kDirect < kPtrsPerBlock) {
+      bno = ind[fbn - kDirect];
+    } else {
+      bno = bmap(di, &dirty, fbn, false);
+      ind = peek_indirect(di);
+    }
     if (bno == 0) {
       std::memset(out.data() + done, 0, chunk);  // hole
+    } else if (const std::byte* p = store_.peek_block(bno)) {
+      std::memcpy(out.data() + done, p + in_blk, chunk);
     } else {
       store_.read_block(bno, std::span<std::byte, kBlockSize>(blk));
       std::memcpy(out.data() + done, blk + in_blk, chunk);
+      ind = peek_indirect(di);
     }
     done += chunk;
   }
@@ -419,20 +442,37 @@ std::int64_t MiniFs::write(Ino ino, std::uint32_t offset, std::span<const std::b
   std::size_t done = 0;
   alignas(8) std::byte blk[kBlockSize];
   bool inode_dirty = false;
+  // Borrow the indirect block for the no-allocation steady state; fall back
+  // to bmap (which may allocate and do its own block I/O) when a pointer is
+  // missing. Every store access below may evict the borrow, so re-borrow
+  // after each one.
+  const std::uint32_t* ind = peek_indirect(di);
   while (done < in.size()) {
     const std::uint32_t pos = offset + static_cast<std::uint32_t>(done);
     const std::uint32_t fbn = pos / kBlockSize;
     const std::uint32_t in_blk = pos % kBlockSize;
     const std::size_t chunk = std::min<std::size_t>(in.size() - done, kBlockSize - in_blk);
-    const std::uint32_t bno = bmap(di, &inode_dirty, fbn, true);
-    if (bno == 0) break;  // disk full: partial write
+    std::uint32_t bno = 0;
+    if (fbn < kDirect) {
+      bno = di.direct[fbn];
+    } else if (ind != nullptr && fbn - kDirect < kPtrsPerBlock) {
+      bno = ind[fbn - kDirect];
+    }
+    if (bno == 0) {
+      bno = bmap(di, &inode_dirty, fbn, true);
+      if (bno == 0) break;  // disk full: partial write
+    }
     if (chunk == kBlockSize) {
-      std::memcpy(blk, in.data() + done, kBlockSize);
+      // Full-block overwrite: write straight from the caller's buffer (on the
+      // VFS zero-copy path that is grant memory -> cache in a single copy).
+      store_.write_block(bno,
+                         std::span<const std::byte, kBlockSize>(in.data() + done, kBlockSize));
     } else {
       store_.read_block(bno, std::span<std::byte, kBlockSize>(blk));
       std::memcpy(blk + in_blk, in.data() + done, chunk);
+      store_.write_block(bno, std::span<const std::byte, kBlockSize>(blk));
     }
-    store_.write_block(bno, std::span<const std::byte, kBlockSize>(blk));
+    ind = peek_indirect(di);
     done += chunk;
   }
   const std::uint32_t end = offset + static_cast<std::uint32_t>(done);

@@ -79,6 +79,13 @@ class BlockStore {
   virtual ~BlockStore() = default;
   virtual void read_block(std::uint32_t bno, std::span<std::byte, kBlockSize> out) = 0;
   virtual void write_block(std::uint32_t bno, std::span<const std::byte, kBlockSize> data) = 0;
+
+  /// Borrow a read-only view of the block's current bytes when the store can
+  /// serve them without blocking (a cache hit); nullptr otherwise — callers
+  /// must then fall back to read_block. Borrowed pointers are invalidated by
+  /// any later read_block/write_block (an insert may evict the borrowed
+  /// entry), so consume or re-borrow after touching the store.
+  virtual const std::byte* peek_block(std::uint32_t /*bno*/) { return nullptr; }
 };
 
 class MiniFs {
@@ -133,6 +140,11 @@ class MiniFs {
   /// Disk block holding file block `fbn`, allocating if requested; 0 if hole
   /// or allocation failure.
   std::uint32_t bmap(DiskInode& di, bool* dirty, std::uint32_t fbn, bool alloc);
+
+  /// Borrow the indirect pointer block if the store can serve it without
+  /// blocking; nullptr otherwise (or when the file has none). Invalidated by
+  /// any store access — re-borrow after every read_block/write_block.
+  const std::uint32_t* peek_indirect(const DiskInode& di);
 
   std::int64_t dir_add(Ino dir, std::string_view name, Ino target);
   std::int64_t dir_remove(Ino dir, std::string_view name);

@@ -59,7 +59,75 @@ void Kernel::send(Endpoint src, Endpoint dst, Message m) {
     OSIRIS_TRACE_EVENT(kIpcSend, kTraceKernel, static_cast<std::uint64_t>(src.value),
                        static_cast<std::uint64_t>(dst.value), m.type);
   }
-  queue_.push_back(Queued{dst, m});
+  enqueue(dst, m);
+}
+
+void Kernel::set_fastpath(const FastPath& f) {
+  fast_ = f;
+  if (fast_.arena_queue) {
+    if (fast_.ring_capacity == 0) fast_.ring_capacity = 1;
+    ring_.resize(fast_.ring_capacity);
+  } else {
+    // Drain any ring residue back into the deque so disabling the arena
+    // mid-stream keeps FIFO order (ring messages are older than spilled).
+    for (std::size_t i = 0; i < ring_size_; ++i) {
+      queue_.insert(queue_.begin() + static_cast<std::ptrdiff_t>(i),
+                    ring_[(ring_head_ + i) % ring_.size()]);
+    }
+    ring_.clear();
+    ring_head_ = ring_size_ = 0;
+  }
+  if (fast_.max_batch == 0) fast_.max_batch = 1;
+}
+
+void Kernel::enqueue(Endpoint dst, const Message& m) {
+  if (fast_.arena_queue && queue_.empty() && ring_size_ < ring_.size()) {
+    ring_[(ring_head_ + ring_size_) % ring_.size()] = Queued{dst, m};
+    ++ring_size_;
+  } else {
+    if (fast_.arena_queue) ++stats_.arena_spills;
+    queue_.push_back(Queued{dst, m});
+  }
+  const std::uint64_t depth = ring_size_ + queue_.size();
+  if (depth > stats_.queue_high_water) stats_.queue_high_water = depth;
+}
+
+bool Kernel::pop_queued(Queued& out) {
+  if (ring_size_ > 0) {
+    out = ring_[ring_head_];
+    ring_head_ = (ring_head_ + 1) % ring_.size();
+    --ring_size_;
+    // Backpressure release: promote spilled messages into the freed slots,
+    // oldest first, so peek/pop keep seeing global FIFO order.
+    while (!queue_.empty() && ring_size_ < ring_.size()) {
+      ring_[(ring_head_ + ring_size_) % ring_.size()] = queue_.front();
+      queue_.pop_front();
+      ++ring_size_;
+    }
+    return true;
+  }
+  if (!queue_.empty()) {
+    out = queue_.front();
+    queue_.pop_front();
+    return true;
+  }
+  return false;
+}
+
+const Kernel::Queued* Kernel::peek_queued() const {
+  if (ring_size_ > 0) return &ring_[ring_head_];
+  if (!queue_.empty()) return &queue_.front();
+  return nullptr;
+}
+
+void Kernel::record_batch(std::size_t n) {
+  OSIRIS_ASSERT(n >= 1);
+  const std::size_t bucket = n < kBatchHistBuckets ? n - 1 : kBatchHistBuckets - 1;
+  ++stats_.batch_hist[bucket];
+  if (n >= 2) {
+    ++stats_.batches;
+    stats_.batched_messages += n;
+  }
 }
 
 void Kernel::notify(Endpoint src, Endpoint dst, std::uint32_t type) {
@@ -225,14 +293,48 @@ std::int64_t Kernel::safecopy_to(Endpoint grantee, GrantId id, std::size_t offse
   return static_cast<std::int64_t>(len);
 }
 
+std::byte* Kernel::grant_span(Endpoint grantee, GrantId id, std::size_t offset, std::size_t len,
+                              Access need, std::int64_t* err) {
+  const Grant* g = check_grant(grantee, id, offset, len, need, err);
+  if (!g) return nullptr;
+  ++stats_.grant_spans;
+  return g->base + offset;
+}
+
+void Kernel::note_grant_bypass(Endpoint grantee, std::size_t len, int dir) {
+  stats_.grant_bypass_bytes += len;
+  OSIRIS_TRACE_EVENT(kGrantCopy, kTraceKernel, static_cast<std::uint64_t>(grantee.value), len,
+                     static_cast<std::uint64_t>(dir));
+}
+
 bool Kernel::dispatch_pending() {
   bool any = false;
-  while (!queue_.empty() && state_ == SystemState::kRunning) {
-    Queued q = queue_.front();
-    queue_.pop_front();
+  Queued q;
+  while (state_ == SystemState::kRunning && pop_queued(q)) {
     any = true;
     if (auto sit = servers_.find(q.dst.value); sit != servers_.end()) {
-      deliver_to_server(q.dst, q.msg);
+      ServerSlot& slot = sit->second;
+      if (fast_.batching && batch_eligible_ != nullptr && batch_eligible_(q.msg.type)) {
+        // Per-endpoint batch: deliver consecutive eligible messages bound
+        // for the same server without re-touching the queue bookkeeping or
+        // the slot lookup. Delivery order is exactly what the unbatched
+        // loop would produce — the batch only fuses accounting, and the
+        // per-message quarantine/hang/state checks still run inside
+        // deliver_to_server for every member.
+        std::size_t n = 1;
+        deliver_to_server(slot, q.dst, q.msg);
+        while (n < fast_.max_batch && state_ == SystemState::kRunning) {
+          const Queued* next = peek_queued();
+          if (next == nullptr || next->dst != q.dst || !batch_eligible_(next->msg.type)) break;
+          pop_queued(q);
+          deliver_to_server(slot, q.dst, q.msg);
+          ++n;
+        }
+        record_batch(n);
+      } else {
+        deliver_to_server(slot, q.dst, q.msg);
+        if (fast_.batching) record_batch(1);
+      }
     } else if (auto cit = clients_.find(q.dst.value); cit != clients_.end()) {
       if (is_notify(q.msg.type)) {
         cit->second->on_notify(q.msg);
@@ -247,8 +349,7 @@ bool Kernel::dispatch_pending() {
   return any;
 }
 
-void Kernel::deliver_to_server(Endpoint dst, const Message& m) {
-  ServerSlot& slot = servers_[dst.value];
+void Kernel::deliver_to_server(ServerSlot& slot, Endpoint dst, const Message& m) {
   if (slot.quarantined) {
     ++stats_.quarantine_rejects;
     if (!is_notify(m.type) && m.sender.valid() && m.sender != kKernelEp) {
@@ -298,7 +399,7 @@ void Kernel::route_reply(Endpoint dst, Message reply) {
     cit->second->on_reply(reply);
   } else if (servers_.count(dst.value) != 0) {
     // Async reply to an event-driven server: re-enters its loop as a message.
-    queue_.push_back(Queued{dst, reply});
+    enqueue(dst, reply);
   }
 }
 

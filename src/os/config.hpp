@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "ckpt/context.hpp"
+#include "kernel/fastpath.hpp"
 #include "recovery/ladder.hpp"
 #include "seep/policy.hpp"
 #include "support/clock.hpp"
@@ -48,6 +49,12 @@ struct OsConfig {
   /// default keeps the busiest ring cache-resident; raise it for analyses
   /// that must retain a full run.
   std::size_t trace_ring_capacity = 1024;
+
+  /// IPC fast path (DESIGN.md §14): arena-backed message queue, per-endpoint
+  /// dispatch batching, and grant-based zero-copy for bulk payloads. All off
+  /// by default; the serving benchmark reports before/after columns per
+  /// flag, and golden traces pin observational equivalence.
+  kernel::FastPath fastpath;
 
   /// Scheduler-step budget: exceeded = the run is classified as hung.
   std::uint64_t max_steps = 20'000'000;

@@ -133,6 +133,10 @@ void OsInstance::boot() {
   }
 
   kernel_ = std::make_unique<kernel::Kernel>(clock_);
+  kernel_->set_fastpath(cfg_.fastpath);
+  // Batch eligibility is a pure derivation from the spec table's SEEP
+  // classes; the kernel only sees the predicate.
+  kernel_->set_batch_eligible(&servers::is_batch_eligible);
 
   const ckpt::Mode mode =
       seep::policy_uses_windows(cfg_.policy) ? cfg_.ckpt_mode : ckpt::Mode::kOff;

@@ -28,6 +28,7 @@
 
 #include <array>
 #include <optional>
+#include <span>
 #include <string>
 #include <type_traits>
 
@@ -128,7 +129,10 @@ class ServerCommon : public kernel::IServer, public recovery::Recoverable {
     if (spec->replyable() && !is_notify && !is_reply) {
       // Attribute the window to the request's message type: the per-msg
       // close/taint stats are the runtime ground truth for the Pass 4
-      // handler-granularity predictions.
+      // handler-granularity predictions. Under the batching fast path the
+      // physical checkpoint (undo-log reset) is elided when the log is
+      // already clean — one physical checkpoint per batch of NSM requests.
+      window_.set_lazy_checkpoint(kernel_.fastpath().batching);
       window_.open(m.type);
     }
 
@@ -234,6 +238,18 @@ class ServerCommon : public kernel::IServer, public recovery::Recoverable {
   void seep_notify(kernel::Endpoint dst, std::uint32_t type) {
     window_.on_outbound(classification_.get(type).seep);
     kernel_.notify(ep_, dst, type);
+  }
+
+  /// Batched notification fan-out through a SEEP: one classification lookup
+  /// and one window transition cover the whole batch (every element carries
+  /// the same type, so the per-send on_outbound calls would be no-ops after
+  /// the first — taint latches, close is idempotent). The kernel still
+  /// queues and traces each notification individually, so delivery order
+  /// and the event trace are identical to a seep_notify loop.
+  void seep_notify_batch(std::span<const kernel::Endpoint> dsts, std::uint32_t type) {
+    if (dsts.empty()) return;
+    window_.on_outbound(classification_.get(type).seep);
+    for (const kernel::Endpoint dst : dsts) kernel_.notify(ep_, dst, type);
   }
 
   /// Deferred reply to a previously postponed request (e.g. PM waking a

@@ -127,6 +127,9 @@ class Vfs final : public ServerBase<VfsState> {
     void read_block(std::uint32_t bno, std::span<std::byte, fs::kBlockSize> out) override;
     void write_block(std::uint32_t bno,
                      std::span<const std::byte, fs::kBlockSize> data) override;
+    /// Cache hit -> borrowed pointer into the cache (refreshes LRU); miss ->
+    /// nullptr, never blocks. Lets MiniFs skip the per-block staging copy.
+    const std::byte* peek_block(std::uint32_t bno) override;
 
    private:
     Vfs& vfs_;

@@ -83,7 +83,8 @@ std::vector<Injection> plan_edfi(std::uint64_t seed, int injections_per_site) {
   return plan;
 }
 
-RunClass run_one_injection(seep::Policy policy, const Injection& inj, std::string* trace_out) {
+RunClass run_one_injection(seep::Policy policy, const Injection& inj, std::string* trace_out,
+                           const kernel::FastPath& fastpath) {
   // The calling thread's registry: each worker owns an isolated probe
   // runtime, so concurrent injections never see each other's state.
   fi::Registry& reg = fi::Registry::instance();
@@ -92,6 +93,7 @@ RunClass run_one_injection(seep::Policy policy, const Injection& inj, std::strin
 
   os::OsConfig cfg;
   cfg.policy = policy;
+  cfg.fastpath = fastpath;
 #if OSIRIS_TRACE_ENABLED
   cfg.trace_enabled = trace_out != nullptr;
 #endif
@@ -140,7 +142,7 @@ std::vector<RunClass> run_plan(seep::Policy policy, const std::vector<Injection>
       plan.size(), opts.jobs, [&](std::size_t i) {
         // Workers write disjoint, pre-sized slots: no lock needed.
         std::string* trace_out = opts.traces != nullptr ? &(*opts.traces)[i] : nullptr;
-        classes[i] = run_one_injection(policy, plan[i], trace_out);
+        classes[i] = run_one_injection(policy, plan[i], trace_out, opts.fastpath);
         if (opts.progress) {
           // Increment under the same lock as the callback so `done` is
           // strictly monotonic in call order, not just in total.

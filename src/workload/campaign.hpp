@@ -23,6 +23,7 @@
 
 #include "fi/fault.hpp"
 #include "fi/registry.hpp"
+#include "kernel/fastpath.hpp"
 #include "seep/policy.hpp"
 
 namespace osiris::workload {
@@ -60,9 +61,12 @@ std::vector<Injection> plan_edfi(std::uint64_t seed = 316, int injections_per_si
 /// only thread-scoped simulator state, so calls may run concurrently on
 /// distinct threads. When `trace_out` is non-null (and the build has
 /// OSIRIS_TRACE=ON), the run executes with event tracing enabled and the
-/// merged, sequence-ordered text trace is stored there.
+/// merged, sequence-ordered text trace is stored there. `fastpath`
+/// configures the kernel IPC fast path for the run (off by default, like
+/// OsConfig).
 RunClass run_one_injection(seep::Policy policy, const Injection& inj,
-                           std::string* trace_out = nullptr);
+                           std::string* trace_out = nullptr,
+                           const kernel::FastPath& fastpath = {});
 
 struct CampaignTotals {
   int pass = 0;
@@ -94,6 +98,10 @@ struct CampaignOptions {
   /// byte-identical across jobs settings. Requires an OSIRIS_TRACE=ON build;
   /// otherwise the strings come back empty.
   std::vector<std::string>* traces = nullptr;
+  /// Kernel IPC fast-path flags for every run in the plan. Classifications
+  /// and traces must be invariant under these (DESIGN.md §14) — campaigns
+  /// with batching or the arena on are how that is tested at scale.
+  kernel::FastPath fastpath{};
 };
 
 /// Number of workers a campaign uses for `requested` jobs (0 resolves to

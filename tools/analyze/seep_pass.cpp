@@ -285,6 +285,11 @@ std::vector<SendSite> extract_send_sites(const LexedFile& f, const std::string& 
     if (t[i].is("seep_call")) kind = "call";
     if (t[i].is("seep_send")) kind = "send";
     if (t[i].is("seep_notify")) kind = "notify";
+    // Batched dispatch: seep_notify_batch(dsts, TYPE) fans one classified
+    // SEEP out to a set of endpoints. Same argument shape as seep_notify —
+    // the destination-set expression names Endpoint, the type is the second
+    // argument — so the generic extraction below covers it.
+    if (t[i].is("seep_notify_batch")) kind = "notify_batch";
     if (t[i].is("seep_deferred_reply")) kind = "deferred_reply";
     if (kind.empty() || !t[i + 1].is("(")) continue;
     // Skip the wrapper *definitions* (preceded by `void` / `Message` etc.
