@@ -5,8 +5,10 @@
 #
 #   BENCH_ckpt.json     checkpointing microbenchmarks (google-benchmark)
 #   BENCH_serving.json  open-loop serving load, baseline vs fast-path columns
+#   BENCH_storm.json    storm-detection campaign (liveness faults vs the
+#                       health monitor), incl. detection-latency columns
 #
-# Usage: bench/run_benchmarks.sh [--ckpt-only|--serving-only] [build-dir]
+# Usage: bench/run_benchmarks.sh [--ckpt-only|--serving-only|--storm-only] [build-dir]
 #   build-dir  cmake build tree containing the bench binaries (default: build)
 #
 # Fails loudly (non-zero) if a selected bench binary is missing: a silently
@@ -18,9 +20,11 @@ repo_root=$(dirname -- "$script_dir")
 
 run_ckpt=1
 run_serving=1
+run_storm=1
 case "${1:-}" in
-  --ckpt-only) run_serving=0; shift ;;
-  --serving-only) run_ckpt=0; shift ;;
+  --ckpt-only) run_serving=0; run_storm=0; shift ;;
+  --serving-only) run_ckpt=0; run_storm=0; shift ;;
+  --storm-only) run_ckpt=0; run_serving=0; shift ;;
 esac
 
 build_dir=${1:-"$repo_root/build"}
@@ -58,6 +62,18 @@ if [ "$run_serving" = 1 ]; then
       --seconds "${OSIRIS_SERVING_SECONDS:-2}" \
       --out "$repo_root/BENCH_serving.json"
     echo "wrote $repo_root/BENCH_serving.json"
+  else
+    status=1
+  fi
+fi
+
+if [ "$run_storm" = 1 ]; then
+  storm_bin="$build_dir/bench/table_storm"
+  if require_bin "$storm_bin" table_storm; then
+    # The binary self-checks (detected == storm runs, zero false positives)
+    # and exits non-zero on a miss, so a silently-broken monitor fails here.
+    OSIRIS_JOBS="${OSIRIS_JOBS:-0}" "$storm_bin" \
+      --out "$repo_root/BENCH_storm.json"
   else
     status=1
   fi

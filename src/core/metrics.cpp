@@ -54,11 +54,21 @@ SystemMetrics collect_metrics(os::OsInstance& inst) {
   m.grant_bypass_bytes = ks.grant_bypass_bytes;
   m.grant_spans = ks.grant_spans;
 
+  m.health_charges = ks.health_charges;
+  m.fever_onsets = ks.fever_onsets;
+  m.throttled_drops = ks.throttled_drops;
+  m.starved_quanta = ks.starved_quanta;
+  m.dispatch_aborts = ks.dispatch_aborts;
+
   const recovery::EngineStats& es = inst.engine().stats();
   m.restarts = es.restarts;
   m.rollbacks = es.rollbacks;
   m.error_replies = es.error_replies;
   m.shutdowns = es.shutdowns;
+  m.storm_throttles = es.storm_throttles;
+  m.storm_quarantines = es.storm_quarantines;
+  m.detection_latency_ticks = es.detection_latency_ticks;
+  m.storm_detected = es.storm_detected;
 
   m.classification_defaults = inst.classification().default_lookups();
 
@@ -111,6 +121,18 @@ std::string SystemMetrics::report() const {
          std::to_string(shutdowns) + " shutdowns\n";
   out += "classification: " + std::to_string(classification_defaults) +
          " default-trait lookups\n";
+  if (fever_onsets > 0 || health_charges > 0 || storm_throttles > 0 || dispatch_aborts > 0) {
+    out += "health: " + std::to_string(health_charges) + " charges, " +
+           std::to_string(fever_onsets) + " fever onsets, " + std::to_string(throttled_drops) +
+           " throttled drops, " + std::to_string(starved_quanta) + " starved quanta, " +
+           std::to_string(storm_throttles) + " throttles, " + std::to_string(storm_quarantines) +
+           " storm quarantines";
+    if (storm_detected) {
+      out += ", detection latency " + std::to_string(detection_latency_ticks) + " ticks";
+    }
+    if (dispatch_aborts > 0) out += ", " + std::to_string(dispatch_aborts) + " dispatch aborts";
+    out += "\n";
+  }
   if (trace_active) {
     out += "trace: " + std::to_string(trace_emitted) + " events emitted, " +
            std::to_string(trace_dropped) + " dropped\n";

@@ -57,6 +57,19 @@ struct SystemMetrics {
   std::uint64_t error_replies = 0;
   std::uint64_t shutdowns = 0;
 
+  // Physiological health monitor + storm rung (DESIGN.md §15). All zero when
+  // cfg.health.enabled is off (the default), except health_charges which
+  // stays zero anyway because the monitor never samples.
+  std::uint64_t health_charges = 0;    // deliveries charged as non-useful
+  std::uint64_t fever_onsets = 0;      // quanta where an endpoint crossed the fever threshold
+  std::uint64_t throttled_drops = 0;   // deliveries dropped past a throttled sender's allowance
+  std::uint64_t starved_quanta = 0;    // quanta where charged work dominated useful work
+  std::uint64_t dispatch_aborts = 0;   // livelock-valve trips (cleared backlog)
+  std::uint64_t storm_throttles = 0;   // fever onsets answered with a throttle
+  std::uint64_t storm_quarantines = 0; // fevers persisting under throttle
+  std::uint64_t detection_latency_ticks = 0;  // storm onset -> throttle (first detection)
+  bool storm_detected = false;         // detection_latency_ticks is valid
+
   // SEEP classification health: how many lookups fell back to the
   // conservative default because the type was absent from the spec table.
   // Nonzero means a channel carried an undeclared type (dispatch fail-stops

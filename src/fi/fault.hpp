@@ -21,6 +21,12 @@ enum class FaultType : std::uint8_t {
   kBranchFlip,    // inverts a branch decision (wrong control flow)
   kHang,          // the component stops responding (heartbeat-detected)
   kDelayedCrash,  // silent at first, crashes a few executions later
+  // --- liveness (storm) fault types --------------------------------------
+  // Neither crashes nor hangs the component: it stays live — answering
+  // heartbeats — while burning dispatches or flooding a peer, so only the
+  // physiological health monitor can see it (Mira's "fever" class).
+  kHandlerSpin,   // handler keeps re-dispatching itself with no useful work
+  kChannelFlood,  // floods a victim endpoint with well-formed requests
 };
 
 [[nodiscard]] constexpr const char* fault_name(FaultType t) {
@@ -32,6 +38,8 @@ enum class FaultType : std::uint8_t {
     case FaultType::kBranchFlip: return "branch-flip";
     case FaultType::kHang: return "hang";
     case FaultType::kDelayedCrash: return "delayed-crash";
+    case FaultType::kHandlerSpin: return "handler-spin";
+    case FaultType::kChannelFlood: return "channel-flood";
   }
   return "?";
 }
@@ -50,6 +58,8 @@ enum class SiteKind : std::uint8_t {
     case FaultType::kNullDeref:
     case FaultType::kHang:
     case FaultType::kDelayedCrash:
+    case FaultType::kHandlerSpin:
+    case FaultType::kChannelFlood:
       return true;  // any site models an executable location
     case FaultType::kCorruptValue:
     case FaultType::kOffByOne:

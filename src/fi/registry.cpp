@@ -77,6 +77,9 @@ std::uint64_t Registry::boot_hits(const Site* site) const {
 void Registry::reset_counts() {
   counts_.assign(SiteDirectory::instance().size(), Counts{});
   delayed_pending_ = false;
+  pending_storm_ = StormPlan{};
+  storm_start_tick_ = 0;
+  storm_fired_ = false;
 }
 
 void Registry::mark_boot_complete() {
@@ -126,6 +129,36 @@ void Registry::disarm() {
   shots_ = 0;
   periodic_site_ = nullptr;
   periodic_interval_ = 0;
+  storm_victim_ = -1;
+  storm_burst_ = 0;
+  storm_owner_ = -1;
+  pending_storm_ = StormPlan{};
+  storm_start_tick_ = 0;
+  storm_fired_ = false;
+}
+
+bool Registry::disarm_storms_for(int endpoint) {
+  const bool storm_armed =
+      armed_site_ != nullptr && (armed_type_ == FaultType::kHandlerSpin ||
+                                 armed_type_ == FaultType::kChannelFlood);
+  if (!storm_armed || storm_owner_ != endpoint) return false;
+  armed_site_ = nullptr;
+  armed_type_ = FaultType::kNone;
+  persistent_ = false;
+  shots_ = 0;
+  pending_storm_ = StormPlan{};
+  return true;
+}
+
+FaultType Registry::deliver(FaultType t) {
+  if (t == FaultType::kHandlerSpin || t == FaultType::kChannelFlood) {
+    // Storm faults are realized *after* the dispatch returns (ServerBase
+    // drains the pending slot), never by throwing out of the probe.
+    pending_storm_ = StormPlan{t, storm_victim_,
+                               storm_burst_ == 0 ? kDefaultStormBurst : storm_burst_};
+    storm_owner_ = active_.endpoint;
+  }
+  return t;
 }
 
 FaultType Registry::on_hit(Site* site) {
@@ -159,11 +192,11 @@ FaultType Registry::on_hit(Site* site) {
       persistent_ = false;
       ++fired_;
       trace_fire(active_.endpoint, site, last);
-      return last;
+      return deliver(last);
     }
     ++fired_;
     trace_fire(active_.endpoint, site, armed_type_);
-    return armed_type_;
+    return deliver(armed_type_);
   }
 
   if (delayed_pending_ && hits >= trigger_hit_ + delay_) {
@@ -182,7 +215,7 @@ FaultType Registry::on_hit(Site* site) {
   }
   ++fired_;
   trace_fire(active_.endpoint, site, armed_type_);
-  return armed_type_;
+  return deliver(armed_type_);
 }
 
 namespace {
@@ -201,6 +234,8 @@ void block_probe(Site* site) {
     case FaultType::kCorruptValue:  // silent damage has nothing to corrupt here
     case FaultType::kOffByOne:
     case FaultType::kBranchFlip:
+    case FaultType::kHandlerSpin:   // parked in the registry; ServerBase
+    case FaultType::kChannelFlood:  // realizes the storm post-dispatch
       return;
     case FaultType::kNullDeref:
       realize_crash(site);
@@ -217,6 +252,8 @@ std::int64_t value_probe(Site* site, std::int64_t v) {
     case FaultType::kNone:
     case FaultType::kBranchFlip:
     case FaultType::kDelayedCrash:
+    case FaultType::kHandlerSpin:
+    case FaultType::kChannelFlood:
       return v;
     case FaultType::kCorruptValue:
       return v ^ 0x2A;  // silent corruption
@@ -236,6 +273,8 @@ bool branch_probe(Site* site, bool cond) {
     case FaultType::kCorruptValue:
     case FaultType::kOffByOne:
     case FaultType::kDelayedCrash:
+    case FaultType::kHandlerSpin:
+    case FaultType::kChannelFlood:
       return cond;
     case FaultType::kBranchFlip:
       return !cond;

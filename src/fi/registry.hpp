@@ -133,6 +133,62 @@ class Registry {
   }
   [[nodiscard]] std::uint64_t injections_fired() const noexcept { return fired_; }
 
+  // --- storm faults (liveness campaigns) ---------------------------------
+  /// A storm probe never throws: instead it *records* the firing here and
+  /// ServerBase picks it up after the dispatch returns, turning it into a
+  /// self-notification burst (kHandlerSpin) or a flood pump against
+  /// `storm_victim` (kChannelFlood). `storm_owner` is the endpoint whose
+  /// code hosts the armed probe — the component quarantine must silence.
+  struct StormPlan {
+    FaultType type = FaultType::kNone;
+    int victim = -1;        // kChannelFlood target endpoint (-1 = unset)
+    std::uint32_t burst = 0;  // spin notes per fire / flood notes per pump period
+  };
+  void set_storm_plan(int victim, std::uint32_t burst) noexcept {
+    storm_victim_ = victim;
+    storm_burst_ = burst;
+  }
+  /// Take the storm firing recorded by the last probe hit (if any); clears
+  /// the pending slot so each firing activates at most once.
+  [[nodiscard]] StormPlan take_pending_storm() noexcept {
+    const StormPlan p = pending_storm_;
+    pending_storm_ = StormPlan{};
+    return p;
+  }
+  /// First virtual tick at which a storm fault fired this run (detection-
+  /// latency zero point). A storm born before the clock's first advance
+  /// legitimately starts at tick 0, so liveness is tracked by storm_fired(),
+  /// not by a nonzero tick.
+  [[nodiscard]] std::uint64_t storm_start_tick() const noexcept { return storm_start_tick_; }
+  [[nodiscard]] bool storm_fired() const noexcept { return storm_fired_; }
+  void note_storm_start(std::uint64_t tick) noexcept {
+    if (!storm_fired_) {
+      storm_fired_ = true;
+      storm_start_tick_ = tick;
+    }
+  }
+  /// Quarantine hook: if the armed fault is a storm type owned by
+  /// `endpoint`, disarm it so readmission does not re-trigger the storm
+  /// (satellite: quarantine must *end* infinite re-firing faults). Other
+  /// persistent faults are left armed — recurring-crash campaigns depend on
+  /// them surviving recovery. Returns true if something was disarmed.
+  bool disarm_storms_for(int endpoint);
+  [[nodiscard]] int storm_owner() const noexcept { return storm_owner_; }
+  /// True while a storm fault armed at `endpoint`'s probe is still live —
+  /// the flood pump polls this to know when to stop rescheduling itself.
+  [[nodiscard]] bool storm_armed_for(int endpoint) const noexcept {
+    return armed_site_ != nullptr && storm_owner_ == endpoint &&
+           (armed_type_ == FaultType::kHandlerSpin ||
+            armed_type_ == FaultType::kChannelFlood);
+  }
+  /// Narrower check for the spin sustain path: every FI_SPIN dispatch at the
+  /// owner re-notes itself while this holds, independent of which probe site
+  /// hosts the armed fault (the site only has to fire once to seed).
+  [[nodiscard]] bool spin_armed_for(int endpoint) const noexcept {
+    return armed_site_ != nullptr && storm_owner_ == endpoint &&
+           armed_type_ == FaultType::kHandlerSpin;
+  }
+
   // --- probe fast path ------------------------------------------------
   /// Called on every probe execution. Returns the fault type to realize at
   /// this execution (kNone almost always).
@@ -146,6 +202,13 @@ class Registry {
 
   /// Counter slot for `site`, growing the table for late-registered sites.
   Counts& slot(const Site* site) const;
+
+  /// Post-process a fault about to be returned from on_hit(): storm types
+  /// are parked in pending_storm_ (realized later by ServerBase), everything
+  /// else passes through untouched.
+  FaultType deliver(FaultType t);
+
+  static constexpr std::uint32_t kDefaultStormBurst = 4;
 
   // Indexed by Site::id. Mutable so const accessors can lazily grow it.
   mutable std::vector<Counts> counts_;
@@ -161,6 +224,13 @@ class Registry {
   std::uint64_t periodic_interval_ = 0;
   std::uint64_t periodic_last_fire_ = 0;
   std::uint64_t fired_ = 0;
+  // Storm bookkeeping (see StormPlan above).
+  int storm_victim_ = -1;
+  std::uint32_t storm_burst_ = 0;
+  int storm_owner_ = -1;  // endpoint whose probe hosts the armed storm fault
+  StormPlan pending_storm_;
+  std::uint64_t storm_start_tick_ = 0;
+  bool storm_fired_ = false;
 };
 
 // --- probe implementation functions (called via the macros below) ---------

@@ -29,6 +29,12 @@ class IServer {
   /// True while the server is processing deferred work (e.g. worker threads
   /// blocked on disk I/O). Used by the scheduler's idle detection.
   [[nodiscard]] virtual bool has_pending_work() const { return false; }
+
+  /// Monotonic useful-work counter sampled by the health monitor around
+  /// each dispatch: recovery windows opened plus deferred replies sent. A
+  /// dispatch that moves neither is physiologically idle — if a component
+  /// produces many such dispatches in a burst, it is storming, not working.
+  [[nodiscard]] virtual std::uint64_t useful_work() const { return 0; }
 };
 
 class IClient {

@@ -309,9 +309,22 @@ void Kernel::note_grant_bypass(Endpoint grantee, std::size_t len, int dir) {
 
 bool Kernel::dispatch_pending() {
   bool any = false;
+  std::uint64_t delivered = 0;
   Queued q;
   while (state_ == SystemState::kRunning && pop_queued(q)) {
     any = true;
+    if (burst_cap_ != 0 && ++delivered > burst_cap_) {
+      // Livelock valve: a self-sustaining message storm (e.g. kHandlerSpin
+      // with detection disabled) keeps this drain loop fed forever — the
+      // virtual clock never advances while work is pending, so no timeout
+      // can fire. Drop the backlog and return; the run loop's step budget
+      // then decides the outcome (a storm campaign classifies it starved).
+      ++stats_.dispatch_aborts;
+      ring_size_ = 0;
+      ring_head_ = 0;
+      queue_.clear();
+      break;
+    }
     if (auto sit = servers_.find(q.dst.value); sit != servers_.end()) {
       ServerSlot& slot = sit->second;
       if (fast_.batching && batch_eligible_ != nullptr && batch_eligible_(q.msg.type)) {
@@ -350,6 +363,8 @@ bool Kernel::dispatch_pending() {
 }
 
 void Kernel::deliver_to_server(ServerSlot& slot, Endpoint dst, const Message& m) {
+  const bool health_on = health_.enabled();
+  if (health_on) health_.note_delivery();
   if (slot.quarantined) {
     ++stats_.quarantine_rejects;
     if (!is_notify(m.type) && m.sender.valid() && m.sender != kKernelEp) {
@@ -361,10 +376,36 @@ void Kernel::deliver_to_server(ServerSlot& slot, Endpoint dst, const Message& m)
       clock_.call_after(kQuarantineReplyLatency,
                         [this, sender, reply] { route_reply(sender, reply); });
     }
+    if (health_on) health_quantum_tick();
     return;
   }
   if (slot.hung) {
     OSIRIS_DEBUG("kernel", "message type=0x%x to hung server %d dropped", m.type, dst.value);
+    if (health_on) health_quantum_tick();
+    return;
+  }
+  if (health_on && m.sender.valid() && m.sender != kKernelEp &&
+      !(throttle_exempt_ != nullptr &&
+        throttle_exempt_(m.type & ~(kNotifyBit | kReplyBit))) &&
+      !health_.admit(m.sender.value)) {
+    // Storm-throttle gate: the sender's fever engaged the ladder's throttle
+    // rung, so deliveries beyond its per-quantum allowance are dropped — the
+    // victim's queue unclogs while the storming component stays live. The
+    // drop still charges the sender: sustained pressure under an active
+    // throttle is exactly what escalates to quarantine. Replyable requests
+    // are error-virtualized like quarantined ones so callers unblock.
+    // Exempt types (heartbeat protocol) bypass the gate — and its allowance
+    // bookkeeping — entirely: see set_throttle_exempt.
+    ++stats_.throttled_drops;
+    health_.charge(m.sender.value);
+    ++stats_.health_charges;
+    if (!is_notify(m.type) && !is_reply(m.type)) {
+      const Message reply = make_reply(m.type, E_CRASH);
+      const Endpoint sender = m.sender;
+      clock_.call_after(kQuarantineReplyLatency,
+                        [this, sender, reply] { route_reply(sender, reply); });
+    }
+    health_quantum_tick();
     return;
   }
   slot.inflight = m;
@@ -372,10 +413,25 @@ void Kernel::deliver_to_server(ServerSlot& slot, Endpoint dst, const Message& m)
   ++stats_.server_dispatches;
   OSIRIS_TRACE_EVENT(kIpcDeliver, kTraceKernel, static_cast<std::uint64_t>(m.sender.value),
                      static_cast<std::uint64_t>(dst.value), m.type);
+  const std::uint64_t useful_before = health_on ? slot.srv->useful_work() : 0;
   try {
     std::optional<Message> reply = slot.srv->dispatch(m);
     slot.in_dispatch = false;
+    if (health_on) {
+      // Physiological sample: a delivery that opened no recovery window,
+      // produced no reply and sent no deferred reply did no useful work —
+      // charge the *sender* (flood victims spike too; the attribution must
+      // land on the storming component). Kernel-originated traffic is
+      // exempt; self-sends are not, or a spinning handler's self-notes
+      // would be invisible.
+      const bool useful = reply.has_value() || slot.srv->useful_work() > useful_before;
+      if (!useful && m.sender.valid() && m.sender != kKernelEp) {
+        health_.charge(m.sender.value);
+        ++stats_.health_charges;
+      }
+    }
     if (reply) route_reply(m.sender, *reply);
+    if (health_on) health_quantum_tick();
   } catch (const FailStopFault& f) {
     slot.in_dispatch = false;
     CrashContext ctx;
@@ -385,9 +441,24 @@ void Kernel::deliver_to_server(ServerSlot& slot, Endpoint dst, const Message& m)
     ctx.what = f.what();
     ++stats_.crashes;
     handle_crash(dst, ctx);
+    if (health_on) health_quantum_tick();
   } catch (const HangSuspend&) {
     slot.in_dispatch = false;
     if (!slot.hung) mark_hung(dst, m);
+    if (health_on) health_quantum_tick();
+  }
+}
+
+void Kernel::health_quantum_tick() {
+  if (!health_.quantum_due()) return;
+  const QuantumResult q = health_.close_quantum(clock_.now());
+  if (q.starved) ++stats_.starved_quanta;
+  for (const FeverEvent& f : q.fevers) {
+    if (!f.escalation) ++stats_.fever_onsets;
+    OSIRIS_TRACE_EVENT(kFeverOnset, kTraceKernel, static_cast<std::uint64_t>(f.endpoint),
+                       static_cast<std::uint64_t>(f.ewma),
+                       static_cast<std::uint64_t>(f.escalation));
+    if (storm_handler_) storm_handler_(Endpoint{f.endpoint});
   }
 }
 

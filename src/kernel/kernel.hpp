@@ -36,6 +36,7 @@
 
 #include "kernel/fastpath.hpp"
 #include "kernel/grant.hpp"
+#include "kernel/health.hpp"
 #include "kernel/iface.hpp"
 #include "kernel/message.hpp"
 #include "support/clock.hpp"
@@ -93,6 +94,12 @@ struct KernelStats {
   std::uint64_t batch_hist[kBatchHistBuckets] = {};  // dispatch-group sizes (8 = 8+)
   std::uint64_t grant_bypass_bytes = 0;  // payload bytes moved via zero-copy spans
   std::uint64_t grant_spans = 0;         // zero-copy span handouts
+  // --- physiological health / storm accounting (DESIGN.md §15) ---------
+  std::uint64_t health_charges = 0;   // non-useful deliveries charged to senders
+  std::uint64_t fever_onsets = 0;     // EWMA fever threshold crossings
+  std::uint64_t throttled_drops = 0;  // deliveries dropped at the storm-throttle gate
+  std::uint64_t starved_quanta = 0;   // quanta where charged traffic crowded out >1/2
+  std::uint64_t dispatch_aborts = 0;  // drain loops cut short by the livelock valve
 };
 
 class Kernel {
@@ -165,6 +172,12 @@ class Kernel {
   /// least one message was processed. May throw ControlledShutdown.
   bool dispatch_pending();
 
+  /// Livelock valve: cap deliveries per dispatch_pending() call. An
+  /// *undetected* self-sustaining storm feeds the drain loop forever while
+  /// the virtual clock stands still; past the cap the backlog is dropped
+  /// (stats().dispatch_aborts) so the run loop regains control. 0 = off.
+  void set_dispatch_burst_cap(std::uint64_t cap) noexcept { burst_cap_ = cap; }
+
   [[nodiscard]] bool queue_empty() const noexcept { return ring_size_ == 0 && queue_.empty(); }
 
   // --- fast path --------------------------------------------------------
@@ -203,6 +216,36 @@ class Kernel {
   void lift_quarantine(Endpoint ep);
   [[nodiscard]] bool is_quarantined(Endpoint ep) const;
 
+  // --- physiological health (storm detection; DESIGN.md §15) -----------
+
+  /// Configure the health monitor (default-off). Sampling, sender charging
+  /// and the throttle gate all key off HealthConfig::enabled.
+  void set_health(const HealthConfig& hc) { health_.configure(hc); }
+  [[nodiscard]] const HealthMonitor& health() const noexcept { return health_; }
+  [[nodiscard]] HealthMonitor& health() noexcept { return health_; }
+
+  /// Recovery-layer callback invoked (at the dispatch boundary, never
+  /// nested) when an endpoint's fever crosses threshold or persists under
+  /// an active throttle. Wired to recovery::Engine::on_storm by the OS.
+  void set_storm_handler(std::function<void(Endpoint)> handler) {
+    storm_handler_ = std::move(handler);
+  }
+
+  /// The storm rung's first response: a throttled endpoint's *sends* are
+  /// dropped (replyable requests error-virtualized) beyond a small
+  /// per-quantum allowance, so its victims unblock while it stays live.
+  void throttle(Endpoint ep) { health_.set_throttled(ep.value, true); }
+  void unthrottle(Endpoint ep) { health_.set_throttled(ep.value, false); }
+  [[nodiscard]] bool is_throttled(Endpoint ep) const {
+    return health_.is_throttled(ep.value);
+  }
+
+  /// Hook exempting message types from the throttle gate; set by the OS
+  /// layer (heartbeat protocol traffic — the liveness substrate must stay
+  /// truthful even while its sender is throttled, or dropping pongs would
+  /// convert every throttle into a phantom hang). Unset means no exemption.
+  void set_throttle_exempt(BatchEligibleFn fn) noexcept { throttle_exempt_ = fn; }
+
   // --- system lifecycle ---------------------------------------------------
 
   [[nodiscard]] SystemState state() const noexcept { return state_; }
@@ -232,6 +275,11 @@ class Kernel {
   };
 
   void deliver_to_server(ServerSlot& slot, Endpoint dst, const Message& m);
+  /// Close the health quantum if due and run fever decisions. Only called
+  /// from deliver_to_server exits, which all sit at dispatch depth zero
+  /// (nested sendrec goes through call(), not here), so the storm handler
+  /// never interrupts a server mid-dispatch.
+  void health_quantum_tick();
   void route_reply(Endpoint dst, Message reply);
   void enqueue(Endpoint dst, const Message& m);
   bool pop_queued(Queued& out);
@@ -255,11 +303,15 @@ class Kernel {
   std::size_t ring_head_ = 0;
   std::size_t ring_size_ = 0;
   FastPath fast_;
+  std::uint64_t burst_cap_ = 0;
   BatchEligibleFn batch_eligible_ = nullptr;
+  BatchEligibleFn throttle_exempt_ = nullptr;
   std::unordered_map<GrantId, Grant> grants_;
   GrantId next_grant_ = 1;
   std::int32_t next_client_ep_ = kFirstUserEndpoint;
   CrashHandler crash_handler_;
+  HealthMonitor health_;
+  std::function<void(Endpoint)> storm_handler_;
   SystemState state_ = SystemState::kRunning;
   std::string halt_reason_;
   KernelStats stats_;

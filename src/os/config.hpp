@@ -5,6 +5,7 @@
 
 #include "ckpt/context.hpp"
 #include "kernel/fastpath.hpp"
+#include "kernel/health.hpp"
 #include "recovery/ladder.hpp"
 #include "seep/policy.hpp"
 #include "support/clock.hpp"
@@ -55,6 +56,17 @@ struct OsConfig {
   /// by default; the serving benchmark reports before/after columns per
   /// flag, and golden traces pin observational equivalence.
   kernel::FastPath fastpath;
+
+  /// Physiological health monitor (DESIGN.md §15): per-endpoint fever
+  /// detection feeding the ladder's storm rung. Off by default so every
+  /// pre-existing scenario — and every golden trace — is bit-identical.
+  kernel::HealthConfig health;
+
+  /// Deliveries one kernel drain loop may make before the livelock valve
+  /// trips (an undetected self-sustaining storm would otherwise spin the
+  /// host forever: the virtual clock stands still while work is pending).
+  /// Far above anything a legitimate workload produces. 0 disables.
+  std::uint64_t max_dispatch_burst = 200'000;
 
   /// Scheduler-step budget: exceeded = the run is classified as hung.
   std::uint64_t max_steps = 20'000'000;

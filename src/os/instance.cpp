@@ -137,6 +137,9 @@ void OsInstance::boot() {
   // Batch eligibility is a pure derivation from the spec table's SEEP
   // classes; the kernel only sees the predicate.
   kernel_->set_batch_eligible(&servers::is_batch_eligible);
+  kernel_->set_health(cfg_.health);
+  kernel_->set_throttle_exempt(&servers::is_throttle_exempt);
+  kernel_->set_dispatch_burst_cap(cfg_.max_dispatch_burst);
 
   const ckpt::Mode mode =
       seep::policy_uses_windows(cfg_.policy) ? cfg_.ckpt_mode : ckpt::Mode::kOff;
@@ -164,6 +167,11 @@ void OsInstance::boot() {
     components_ = {pm_.get(), vm_.get(), vfs_.get(), ds_.get(), rs_.get()};
     for (recovery::Recoverable* c : components_) engine_->register_component(c);
     rs_->attach_engine(engine_.get());
+    // Fever decisions route into the ladder's storm rung. The handler fires
+    // only at the dispatch boundary (never nested), so the engine may park
+    // the fevered component on the spot.
+    kernel_->set_storm_handler(
+        [this](kernel::Endpoint ep) { engine_->on_storm(ep); });
   }
 
   // RS watches every published key (component status publications), so DS

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fi/registry.hpp"
 #include "servers/protocol.hpp"
 #include "support/common.hpp"
 #include "support/log.hpp"
@@ -183,6 +184,55 @@ CrashDecision Engine::escalate(Slot& slot, const CrashContext& ctx, Tick now) {
   return CrashDecision{CrashAction::kNoReply, {}};
 }
 
+void Engine::on_storm(Endpoint ep) {
+  auto it = slots_.find(ep.value);
+  if (it == slots_.end()) return;  // fever outside the recovery surface
+  Slot& slot = it->second;
+  if (slot.parked) return;  // already quarantined; fever data is stale
+  const Tick now = kernel_.clock().now();
+
+  if (!kernel_.is_throttled(ep)) {
+    // Storm rung, first response: throttle. The component keeps running —
+    // and keeps answering heartbeats — but its outbound pressure is capped,
+    // which both unblocks the victims and preserves the evidence: a
+    // legitimate burst cools off under the throttle, a storm does not.
+    kernel_.throttle(ep);
+    ++stats_.storm_throttles;
+    const Tick onset = fi::Registry::instance().storm_start_tick();
+    const Tick latency = (onset != 0 && now >= onset) ? now - onset : 0;
+    if (!stats_.storm_detected) {
+      stats_.storm_detected = true;
+      stats_.detection_latency_ticks = latency;
+    }
+    OSIRIS_TRACE_EVENT(kRecoveryThrottle, ep.value, latency);
+    OSIRIS_INFO("recovery", "%s fevered: storm throttle engaged (latency %llu ticks)",
+                std::string(slot.comp->name()).c_str(),
+                static_cast<unsigned long long>(latency));
+    return;
+  }
+
+  // Fever persisting under an active throttle: the pressure is not a burst,
+  // it is a re-firing fault. Escalate to quarantine and disarm any storm
+  // fault owned by this component — quarantine must *end* the storm, or
+  // readmission would re-trigger it forever. Non-storm persistent faults
+  // stay armed (recurring-crash campaigns depend on them surviving).
+  ++stats_.storm_quarantines;
+  if (fi::Registry::instance().disarm_storms_for(ep.value)) ++stats_.storm_disarms;
+  slot.rung = 2;
+  slot.backoff = std::max(ladder_.storm_cooldown_ticks,
+                          std::min(slot.backoff * 2, ladder_.backoff_cap_ticks));
+  OSIRIS_TRACE_EVENT(kRecoveryQuarantine, ep.value, slot.backoff, /*budget=*/0);
+  OSIRIS_INFO("recovery", "%s storm persists under throttle: quarantining for %llu ticks",
+              std::string(slot.comp->name()).c_str(),
+              static_cast<unsigned long long>(slot.backoff));
+  reset_to_boot_image(slot);
+  slot.parked = true;
+  slot.probation_until = now + slot.backoff + ladder_.crash_window_ticks;
+  kernel_.quarantine(ep);
+  kernel_.unthrottle(ep);  // quarantine supersedes the throttle
+  announce_park(ep, slot.backoff, slot.rung);
+}
+
 void Engine::announce_park(Endpoint ep, Tick cooldown, std::uint32_t rung) {
   const bool rs_reachable =
       kernel_.is_server(kernel::kRsEp) && !kernel_.is_quarantined(kernel::kRsEp);
@@ -205,6 +255,7 @@ void Engine::readmit(Endpoint ep) {
   it->second.parked = false;
   ++stats_.readmissions;
   kernel_.lift_quarantine(ep);
+  kernel_.unthrottle(ep);  // a readmitted component starts with a clean bill
   OSIRIS_TRACE_EVENT(kRecoveryReadmit, ep.value, it->second.rung);
   OSIRIS_INFO("recovery", "%s readmitted after cooldown (rung %u)",
               std::string(it->second.comp->name()).c_str(), it->second.rung);

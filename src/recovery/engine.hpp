@@ -74,6 +74,16 @@ struct EngineStats {
   std::uint64_t quarantines = 0;        // rung-2 escalations
   std::uint64_t budget_quarantines = 0;  // recovery budget exhausted -> rung 2
   std::uint64_t readmissions = 0;        // parked components re-admitted
+  // --- storm rung (liveness faults, DESIGN.md §15) -----------------------
+  std::uint64_t storm_throttles = 0;    // fever onsets answered with a throttle
+  std::uint64_t storm_quarantines = 0;  // fevers persisting under throttle
+  std::uint64_t storm_disarms = 0;      // storm faults disarmed at quarantine
+  /// Ticks from storm onset (first storm-fault fire) to the throttle
+  /// engaging, for the *first* detection this engine made. Spin storms
+  /// freeze the virtual clock, so their latency legitimately reads ~0;
+  /// flood storms accumulate pump periods.
+  Tick detection_latency_ticks = 0;
+  bool storm_detected = false;  // latch: detection_latency_ticks is valid
 };
 
 class Engine {
@@ -93,6 +103,15 @@ class Engine {
 
   /// Kernel crash-handler entry point.
   kernel::CrashDecision on_crash(const kernel::CrashContext& ctx);
+
+  /// Kernel storm-handler entry point (health-monitor fever decisions): the
+  /// ladder's storm rung, slotted between rung 1's backoff restart and rung
+  /// 2's quarantine. First fever onset throttles the component (its sends
+  /// are error-virtualized past an allowance, so victims unblock while it
+  /// stays live); a fever that persists under the throttle escalates to
+  /// quarantine and disarms the storm fault so readmission is clean.
+  /// Existing rung numbering is untouched — golden traces embed rungs.
+  void on_storm(kernel::Endpoint ep);
 
   /// Lift a parked component's quarantine after its cooldown expired.
   /// Invoked from a virtual-clock callback (scheduled by RS, or by the

@@ -29,6 +29,11 @@ struct LadderConfig {
   Tick backoff_cap_ticks = 16000;
   /// Minimum park duration once a component reaches quarantine (rung 2).
   Tick quarantine_cooldown_ticks = 4000;
+  /// Storm rung (between rung 1's backoff and rung 2's quarantine): cooldown
+  /// when a throttled component's fever persists and it escalates to
+  /// quarantine. Separate knob because a storm is contained the moment the
+  /// throttle engages — the quarantine only has to outlast fault disarm.
+  Tick storm_cooldown_ticks = 4000;
 };
 
 }  // namespace osiris::recovery

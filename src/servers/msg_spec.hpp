@@ -117,6 +117,11 @@
   X(RS_SWEEP,       0x520, rs,     SM,  NOTE, 0, NOTEXT, "notify (clock -> RS): run the heartbeat sweep") \
   X(RS_PARK,        0x521, rs,     SM,  SEND, 3, NOTEXT, "RCB -> RS: arg0=endpoint, arg1=cooldown, arg2=rung; schedule readmission") \
   X(RS_READMIT,     0x522, rs,     SM,  SEND, 1, NOTEXT, "RCB -> RS: arg0=endpoint; quarantine lifted") \
+  /* Storm-injection notes (liveness campaigns). Both are well-formed        */                   \
+  /* no-ops consumed by ServerCommon before handler lookup — the point of a  */                   \
+  /* storm is the *volume* of dispatches, not what any one message does.     */                   \
+  X(FI_SPIN,        0x530, any,    SM,  NOTE, 0, NOTEXT, "notify self -> self: one spin-storm iteration (burns a dispatch)") \
+  X(FI_FLOOD,       0x531, any,    SM,  NOTE, 0, NOTEXT, "notify storm -> victim: one flood-storm request") \
   /* --- SYS: kernel task (privileged operations, part of the RCB) ---------------------------- */\
   X(SYS_FORK,       0x601, sys,    SM,  REQ,  2, NOTEXT, "arg0=parent pid, arg1=child pid")        \
   X(SYS_EXIT,       0x602, sys,    SM,  REQ,  1, NOTEXT, "arg0=pid")                               \
@@ -222,6 +227,15 @@ inline constexpr std::array<std::int16_t, kMsgSlots> kIndex = build_index();
   const MsgSpec* s = find_msg_spec(type);
   return s != nullptr && s->kind == MsgKind::kRequest &&
          s->seep == seep::SeepClass::kNonStateModifying;
+}
+
+/// Heartbeat-protocol traffic, exempt from the kernel's storm-throttle gate
+/// (Kernel::set_throttle_exempt): dropping a throttled component's pongs
+/// would convert every throttle into a phantom hang, and the storm rung's
+/// whole point is that the component is *live*, just feverish. `type` is the
+/// base type (notify/reply bits stripped by the kernel).
+[[nodiscard]] inline constexpr bool is_throttle_exempt(std::uint32_t type) noexcept {
+  return type == RS_PING || type == RS_PONG;
 }
 
 /// Symbolic name of a message type, or nullptr if unregistered.

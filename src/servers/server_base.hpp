@@ -150,7 +150,35 @@ class ServerCommon : public kernel::IServer, public recovery::Recoverable {
       reply = kernel::make_reply(m.type, kernel::E_NOSYS);
     }
     window_.end_of_request();
+
+    // Storm realization (liveness fault model): a kHandlerSpin/kChannelFlood
+    // probe that fired during this dispatch never throws — it parks a plan
+    // in the registry, picked up here at the dispatch boundary and turned
+    // into traffic. The probe's own component (the innermost dispatch on a
+    // nested call stack) always drains its firing first, so attribution is
+    // exact. An FI_SPIN dispatch instead sustains the storm one-for-one
+    // (independent of which probe site hosts the fault — the site only has
+    // to fire once to seed the burst); any probe re-fire it recorded is
+    // discarded so the backlog stays constant instead of growing
+    // geometrically. Disarm (at quarantine) stops the sustain cold.
+    const fi::Registry::StormPlan storm = fi::Registry::instance().take_pending_storm();
+    if (is_notify && (m.type & ~kernel::kNotifyBit) == FI_SPIN) {
+      if (fi::Registry::instance().spin_armed_for(ep_.value)) {
+        // analyze-suppress(raw-kernel-send): injected storm traffic models
+        // a compromised component and must bypass SEEP accounting.
+        kernel_.notify(ep_, ep_, FI_SPIN);
+      }
+    } else if (storm.type != fi::FaultType::kNone) {
+      activate_storm(storm);
+    }
     return reply;
+  }
+
+  /// Useful-work counter for the kernel's health monitor: recovery windows
+  /// opened plus deferred replies sent. Storm traffic (FI_SPIN/FI_FLOOD
+  /// notes) moves neither, which is what makes it read as fever.
+  [[nodiscard]] std::uint64_t useful_work() const final {
+    return window_.stats().opened + deferred_replies_;
   }
 
   /// True when this server registered a handler for the given type's natural
@@ -258,6 +286,7 @@ class ServerCommon : public kernel::IServer, public recovery::Recoverable {
   /// state-modifying SEEPs — unlike the in-band reply returned by handle().
   void seep_deferred_reply(kernel::Endpoint dst, kernel::Message m) {
     window_.on_outbound(seep::SeepClass::kStateModifying);
+    ++deferred_replies_;
     kernel_.reply_to(dst, std::move(m));
   }
 
@@ -274,12 +303,56 @@ class ServerCommon : public kernel::IServer, public recovery::Recoverable {
     MemberHandler reply = nullptr;
   };
 
+  /// Virtual ticks between flood-pump bursts. Clock-driven on purpose: the
+  /// pump keeps the clock's callback queue alive, so the storm persists
+  /// across otherwise-idle stretches until disarmed or parked. Short next
+  /// to disk latencies (40/60) so flood traffic outpaces the request flow
+  /// it rides on.
+  static constexpr Tick kFloodPumpPeriod = 10;
+
+  /// Turn a recorded storm firing into traffic. kHandlerSpin seeds a
+  /// bounded burst of self-notes; dispatch() then sustains the storm
+  /// one-for-one per FI_SPIN delivered (constant queue pressure — an
+  /// unbounded re-seed would grow the backlog geometrically and an
+  /// immediate 1-for-1 alone would never start it). kChannelFlood starts a
+  /// self-rescheduling clock pump against the victim.
+  void activate_storm(const fi::Registry::StormPlan& storm) {
+    fi::Registry::instance().note_storm_start(kernel_.clock().now());
+    if (storm.type == fi::FaultType::kHandlerSpin) {
+      for (std::uint32_t i = 0; i < storm.burst; ++i) {
+        // analyze-suppress(raw-kernel-send): injected storm traffic models
+        // a compromised component and must bypass SEEP accounting.
+        kernel_.notify(ep_, ep_, FI_SPIN);
+      }
+      return;
+    }
+    if (flood_pump_active_ || storm.victim < 0) return;
+    flood_pump_active_ = true;
+    schedule_flood_pump(kernel::Endpoint{storm.victim}, storm.burst);
+  }
+
+  void schedule_flood_pump(kernel::Endpoint victim, std::uint32_t burst) {
+    kernel_.clock().call_after(kFloodPumpPeriod, [this, victim, burst] {
+      if (!fi::Registry::instance().storm_armed_for(ep_.value)) {
+        flood_pump_active_ = false;  // disarmed (quarantine) — storm over
+        return;
+      }
+      for (std::uint32_t i = 0; i < burst; ++i) {
+        // analyze-suppress(raw-kernel-send): see activate_storm.
+        kernel_.notify(ep_, victim, FI_FLOOD);
+      }
+      schedule_flood_pump(victim, burst);
+    });
+  }
+
   kernel::Kernel& kernel_;
   kernel::Endpoint ep_;
   std::string name_;
   const seep::Classification& classification_;
   ckpt::Context ctx_;
   seep::Window window_;
+  std::uint64_t deferred_replies_ = 0;
+  bool flood_pump_active_ = false;
   std::array<HandlerSlot, kMsgSpecCount> handlers_{};
 };
 

@@ -47,6 +47,11 @@ enum class EventKind : std::uint8_t {
   // --- heartbeats --------------------------------------------------------
   kHeartbeatPing,  // component = RS; a0=pinged ep
   kHeartbeatPong,  // component = responding server; a0=RS ep
+
+  // --- physiological health / storm rung (appended; component 0 = kernel
+  // for fever events, the storming server for the rung) -------------------
+  kFeverOnset,        // a0=fevered ep, a1=EWMA temperature, a2=1 if escalation
+  kRecoveryThrottle,  // a0=detection latency (ticks since storm onset)
 };
 
 /// Why a recovery window closed (kWindowClose a0).
@@ -77,6 +82,8 @@ enum class CloseCause : std::uint8_t {
     case EventKind::kRecoveryReadmit: return "RecoveryReadmit";
     case EventKind::kHeartbeatPing: return "HeartbeatPing";
     case EventKind::kHeartbeatPong: return "HeartbeatPong";
+    case EventKind::kFeverOnset: return "FeverOnset";
+    case EventKind::kRecoveryThrottle: return "RecoveryThrottle";
   }
   return "?";
 }

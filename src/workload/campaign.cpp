@@ -1,6 +1,9 @@
 #include "workload/campaign.hpp"
 
+#include <algorithm>
+#include <iterator>
 #include <mutex>
+#include <string_view>
 
 #include "os/instance.hpp"
 #include "support/rng.hpp"
@@ -243,6 +246,157 @@ RecurringTotals run_recurring_campaign(seep::Policy policy,
       case RecurringClass::kDegraded: ++totals.degraded; break;
       case RecurringClass::kShutdown: ++totals.shutdown; break;
       case RecurringClass::kWedged: ++totals.wedged; break;
+    }
+  }
+  return totals;
+}
+
+// --- storm campaigns ------------------------------------------------------
+
+namespace {
+
+/// Boot endpoint a probe tag belongs to (-1 for tags without a server, e.g.
+/// probes in shared library code). Only used to keep a flood from targeting
+/// its own host, which would degenerate into a spin.
+std::int32_t tag_endpoint(const char* tag) {
+  const std::string_view t(tag);
+  if (t == "pm") return kernel::kPmEp.value;
+  if (t == "vm") return kernel::kVmEp.value;
+  if (t == "vfs") return kernel::kVfsEp.value;
+  if (t == "ds") return kernel::kDsEp.value;
+  if (t == "rs") return kernel::kRsEp.value;
+  return -1;
+}
+
+}  // namespace
+
+std::vector<StormInjection> plan_storm() {
+  // Per subsystem tag, keep the hottest profiled site: a storm planted on
+  // the busiest path is guaranteed to fire mid-suite, and its host keeps
+  // re-firing the persistent probe, which is what sustains a spin across
+  // throttling until the ladder escalates.
+  std::vector<std::pair<fi::Site*, std::uint64_t>> hottest;  // first-seen tag order
+  for (auto [site, hits] : profile_sites()) {
+    bool found = false;
+    for (auto& [best, best_hits] : hottest) {
+      if (std::string_view(best->tag) == site->tag) {
+        if (hits > best_hits) {
+          best = site;
+          best_hits = hits;
+        }
+        found = true;
+        break;
+      }
+    }
+    if (!found) hottest.emplace_back(site, hits);
+  }
+
+  static constexpr std::int32_t kVictims[] = {kernel::kPmEp.value, kernel::kVmEp.value,
+                                              kernel::kVfsEp.value, kernel::kDsEp.value};
+  std::vector<StormInjection> plan;
+  std::size_t next_victim = 0;
+  for (auto [site, hits] : hottest) {
+    StormInjection spin;
+    spin.site = site;
+    spin.type = fi::FaultType::kHandlerSpin;
+    spin.trigger_hit = 1 + hits / 2;  // mid-suite, like plan_recurring
+    plan.push_back(spin);
+
+    StormInjection flood = spin;
+    flood.type = fi::FaultType::kChannelFlood;
+    // Floods accumulate over clock-pumped periods (unlike spins, which burn
+    // the whole drain loop immediately): start them early so the pump has
+    // most of the suite's virtual time, and make each period's burst large
+    // enough to dominate a 64-delivery quantum next to legitimate traffic.
+    flood.trigger_hit = 1 + hits / 10;
+    flood.burst = 64;
+    std::int32_t victim = kVictims[next_victim++ % std::size(kVictims)];
+    if (victim == tag_endpoint(site->tag)) {
+      victim = kVictims[next_victim++ % std::size(kVictims)];
+    }
+    flood.victim = victim;
+    plan.push_back(flood);
+  }
+  // Control runs: monitor on, nothing armed. Any fever here is a false
+  // positive; the acceptance bar is zero.
+  plan.push_back(StormInjection{});
+  plan.push_back(StormInjection{});
+  return plan;
+}
+
+StormResult run_one_storm(seep::Policy policy, const StormInjection& s) {
+  fi::Registry& reg = fi::Registry::instance();
+  reg.disarm();
+  reg.reset_counts();
+
+  os::OsConfig cfg;
+  cfg.policy = policy;
+  cfg.health.enabled = true;
+  os::OsInstance inst(cfg);
+  register_suite_programs(inst.programs());
+  inst.boot();
+  if (s.site != nullptr) {
+    reg.set_storm_plan(s.victim, s.burst);
+    reg.arm_persistent(s.site, s.type, s.trigger_hit);
+  }
+  const SuiteResult suite = run_suite(inst);
+  const bool fired = reg.storm_fired();
+  reg.disarm();
+
+  const recovery::EngineStats& es = inst.engine().stats();
+  const kernel::KernelStats& ks = inst.kern().stats();
+  StormResult r;
+  r.fever_onsets = ks.fever_onsets;
+  r.throttled_drops = ks.throttled_drops;
+  r.quarantined = es.storm_quarantines > 0;
+  r.disarmed = es.storm_disarms > 0;
+  r.suite_clean = suite.outcome == os::OsInstance::Outcome::kCompleted &&
+                  suite.driver_completed && suite.failed == 0;
+  if (!fired) {
+    // Nothing stormed: a fever is the monitor crying wolf.
+    r.cls = ks.fever_onsets > 0 ? StormClass::kFalsePositive : StormClass::kClean;
+  } else if (es.storm_detected) {
+    r.cls = StormClass::kDetected;
+    r.detection_latency = es.detection_latency_ticks;
+  } else {
+    r.cls = StormClass::kStarved;
+  }
+  return r;
+}
+
+std::vector<StormResult> run_storm_plan(seep::Policy policy,
+                                        const std::vector<StormInjection>& plan,
+                                        const CampaignOptions& opts) {
+  std::vector<StormResult> results(plan.size());
+  int done = 0;
+  std::mutex progress_mu;
+
+  support::WorkerPool::run_indexed(
+      plan.size(), opts.jobs, [&](std::size_t i) {
+        results[i] = run_one_storm(policy, plan[i]);
+        if (opts.progress) {
+          const std::lock_guard<std::mutex> lock(progress_mu);
+          opts.progress(++done, static_cast<int>(plan.size()));
+        }
+      });
+  return results;
+}
+
+StormTotals run_storm_campaign(seep::Policy policy, const std::vector<StormInjection>& plan,
+                               const CampaignOptions& opts) {
+  const std::vector<StormResult> results = run_storm_plan(policy, plan, opts);
+  StormTotals totals;
+  for (const StormResult& r : results) {
+    switch (r.cls) {
+      case StormClass::kDetected: ++totals.detected; break;
+      case StormClass::kStarved: ++totals.starved; break;
+      case StormClass::kFalsePositive: ++totals.false_positive; break;
+      case StormClass::kClean: ++totals.clean; break;
+    }
+    if (r.cls == StormClass::kDetected) {
+      totals.latency_sum += r.detection_latency;
+      totals.latency_max = std::max(totals.latency_max, r.detection_latency);
+      ++totals.latency_n;
     }
   }
   return totals;

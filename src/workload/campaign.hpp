@@ -25,6 +25,7 @@
 #include "fi/registry.hpp"
 #include "kernel/fastpath.hpp"
 #include "seep/policy.hpp"
+#include "support/clock.hpp"
 
 namespace osiris::workload {
 
@@ -182,5 +183,104 @@ std::vector<RecurringClass> run_recurring_plan(seep::Policy policy,
 RecurringTotals run_recurring_campaign(seep::Policy policy,
                                        const std::vector<Injection>& plan,
                                        const CampaignOptions& opts = {});
+
+// --- storm campaigns (liveness faults, DESIGN.md §15) ---------------------
+//
+// Storm faults (kHandlerSpin, kChannelFlood) neither crash nor hang their
+// host: the component stays live and keeps answering heartbeats while it
+// burns dispatches or floods a peer. Crash/hang detection is structurally
+// blind to them, so a storm run is bucketed by whether the *physiological
+// health monitor* caught it:
+//   detected       — the ladder's storm rung engaged (throttle, possibly
+//                    followed by quarantine + fault disarm);
+//   starved        — the storm fired but the monitor never reacted: the
+//                    workload ran starved, the worst bucket;
+//   false-positive — the monitor fevered in a run where no storm ever
+//                    fired (control runs are planted to measure this; the
+//                    acceptance bar is zero);
+//   clean          — a control run that stayed quiet, as it should.
+enum class StormClass : std::uint8_t { kDetected, kStarved, kFalsePositive, kClean };
+
+[[nodiscard]] constexpr const char* storm_class_name(StormClass c) {
+  switch (c) {
+    case StormClass::kDetected: return "detected";
+    case StormClass::kStarved: return "starved";
+    case StormClass::kFalsePositive: return "false-positive";
+    case StormClass::kClean: return "clean";
+  }
+  return "?";
+}
+
+/// One storm injection: a persistent storm fault at `site`, plus the storm
+/// shape (flood victim endpoint and burst size). `site == nullptr` is a
+/// control run — health monitoring on, nothing armed — whose only legitimate
+/// outcome is kClean.
+struct StormInjection {
+  const fi::Site* site = nullptr;
+  fi::FaultType type = fi::FaultType::kNone;
+  std::uint64_t trigger_hit = 1;
+  std::int32_t victim = -1;   // kChannelFlood target endpoint (unused for spin)
+  std::uint32_t burst = 4;    // spin seed notes / flood notes per pump period
+};
+
+/// Per-run storm verdict (index-comparable for the jobs-determinism test).
+struct StormResult {
+  StormClass cls = StormClass::kClean;
+  Tick detection_latency = 0;  // storm onset -> throttle; valid iff kDetected
+  bool quarantined = false;    // fever persisted under throttle -> rung 2
+  bool disarmed = false;       // quarantine disarmed the storm fault
+  bool suite_clean = false;    // suite completed with zero failures
+  std::uint64_t fever_onsets = 0;
+  std::uint64_t throttled_drops = 0;
+
+  friend bool operator==(const StormResult& a, const StormResult& b) {
+    return a.cls == b.cls && a.detection_latency == b.detection_latency &&
+           a.quarantined == b.quarantined && a.disarmed == b.disarmed &&
+           a.suite_clean == b.suite_clean && a.fever_onsets == b.fever_onsets &&
+           a.throttled_drops == b.throttled_drops;
+  }
+};
+
+struct StormTotals {
+  int detected = 0;
+  int starved = 0;
+  int false_positive = 0;
+  int clean = 0;
+  // Detection-latency aggregate over the kDetected runs.
+  std::uint64_t latency_sum = 0;
+  Tick latency_max = 0;
+  int latency_n = 0;
+
+  [[nodiscard]] int total() const { return detected + starved + false_positive + clean; }
+  [[nodiscard]] double latency_mean() const {
+    return latency_n == 0 ? 0.0
+                          : static_cast<double>(latency_sum) / static_cast<double>(latency_n);
+  }
+
+  friend bool operator==(const StormTotals& a, const StormTotals& b) {
+    return a.detected == b.detected && a.starved == b.starved &&
+           a.false_positive == b.false_positive && a.clean == b.clean &&
+           a.latency_sum == b.latency_sum && a.latency_max == b.latency_max &&
+           a.latency_n == b.latency_n;
+  }
+};
+
+/// Draw the storm plan: per subsystem tag, one spin and one flood injection
+/// planted on the tag's hottest profiled site (the storm should ride the
+/// component's busiest path so it engages mid-suite), plus control runs.
+std::vector<StormInjection> plan_storm();
+
+/// Run one storm injection (health monitor enabled) and bucket its fate.
+StormResult run_one_storm(seep::Policy policy, const StormInjection& s);
+
+/// Apply a storm plan; indexed by plan position regardless of jobs (same
+/// determinism contract as run_plan).
+std::vector<StormResult> run_storm_plan(seep::Policy policy,
+                                        const std::vector<StormInjection>& plan,
+                                        const CampaignOptions& opts = {});
+
+/// run_storm_plan + order-independent merge into detection totals.
+StormTotals run_storm_campaign(seep::Policy policy, const std::vector<StormInjection>& plan,
+                               const CampaignOptions& opts = {});
 
 }  // namespace osiris::workload

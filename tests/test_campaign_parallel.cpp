@@ -7,10 +7,12 @@
 // campaigns are minutes; this is seconds).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "support/worker_pool.hpp"
@@ -131,6 +133,61 @@ TEST(CampaignParallel, RecurringCampaignJobsDoNotChangeResults) {
   }
   EXPECT_TRUE(totals == expect);
   EXPECT_EQ(totals.total(), static_cast<int>(plan.size()));
+}
+
+TEST(CampaignParallel, StormCampaignJobsDoNotChangeResults) {
+  // The storm (liveness-fault) campaign joins the same contract: detection
+  // buckets and latencies merge by plan index. Thinned to the bounded runs —
+  // quarantining PM or VFS mid-suite orphans every process waiting on them
+  // and the run only ends at the idle limit, which is slow without adding
+  // determinism coverage beyond the shapes kept here.
+  std::vector<workload::StormInjection> plan;
+  for (const workload::StormInjection& s : workload::plan_storm()) {
+    if (s.site == nullptr) {
+      plan.push_back(s);  // both controls stay: the kClean bucket must merge too
+      continue;
+    }
+    const std::string_view tag(s.site->tag);
+    const bool keep = s.type == fi::FaultType::kHandlerSpin
+                          ? (tag == "pm" || tag == "vm")
+                          : (tag == "ds" || tag == "vm");
+    if (keep) plan.push_back(s);
+  }
+  ASSERT_GE(plan.size(), 6u) << "storm plan lost its expected shape";
+
+  workload::CampaignOptions serial;
+  serial.jobs = 1;
+  workload::CampaignOptions parallel;
+  parallel.jobs = 4;
+
+  const auto ref = workload::run_storm_plan(seep::Policy::kEnhanced, plan, serial);
+  const auto par = workload::run_storm_plan(seep::Policy::kEnhanced, plan, parallel);
+
+  ASSERT_EQ(ref.size(), plan.size());
+  ASSERT_EQ(par.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(ref[i], par[i]) << "storm run " << i << " diverged under --jobs=4";
+  }
+
+  const workload::StormTotals totals =
+      workload::run_storm_campaign(seep::Policy::kEnhanced, plan, parallel);
+  workload::StormTotals expect;
+  for (const workload::StormResult& r : ref) {
+    switch (r.cls) {
+      case workload::StormClass::kDetected:
+        ++expect.detected;
+        expect.latency_sum += r.detection_latency;
+        expect.latency_max = std::max<std::uint64_t>(expect.latency_max, r.detection_latency);
+        ++expect.latency_n;
+        break;
+      case workload::StormClass::kStarved: ++expect.starved; break;
+      case workload::StormClass::kFalsePositive: ++expect.false_positive; break;
+      case workload::StormClass::kClean: ++expect.clean; break;
+    }
+  }
+  EXPECT_TRUE(totals == expect);
+  EXPECT_EQ(totals.total(), static_cast<int>(plan.size()));
+  EXPECT_EQ(expect.false_positive, 0) << "storm campaign saw a false positive";
 }
 
 TEST(CampaignParallel, ProgressIsSerializedAndMonotonic) {

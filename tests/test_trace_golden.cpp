@@ -244,6 +244,75 @@ TEST(TraceGolden, BudgetExhaustionSkipsStraightToQuarantine) {
   EXPECT_TRUE(trace_test::check_golden("ladder_budget_quarantine.trace", r.landmarks_text));
 }
 
+// --- Storm rung: fever onset -> throttle -> escalation -> quarantine --------
+// The liveness counterpart of the crash rungs: a handler-spin storm never
+// crashes or hangs, so the only landmarks are the physiological ones — the
+// kernel's FeverOnset, the ladder's RecoveryThrottle (carrying the detection
+// latency), and the escalation to quarantine that disarms the storm fault.
+TEST(TraceGolden, StormDetectionFeverThrottleQuarantine) {
+  FiGuard guard;
+  const auto profile = [](ISys& sys) {
+    for (int i = 0; i < 30; ++i) sys.ds_publish("g.key", 1);
+  };
+  fi::Site* site = busiest_site("ds", profile);
+  ASSERT_NE(site, nullptr);
+
+  const TraceRun r = run_traced(
+      [](os::OsConfig& cfg) { cfg.health.enabled = true; },
+      [&](fi::Registry& reg) {
+        reg.set_storm_plan(/*victim=*/-1, /*burst=*/4);
+        reg.arm_persistent(site, fi::FaultType::kHandlerSpin, 10);
+      },
+      [](ISys& sys) {
+        for (int i = 0; i < 200; ++i) sys.ds_publish("g.key", static_cast<std::uint64_t>(i));
+      });
+
+  EXPECT_TRUE(expect_subsequence(r.landmarks, {
+                  Pat{EventKind::kFaultFire, kDs},
+                  Pat{EventKind::kFeverOnset}.with_a0(static_cast<std::uint64_t>(kDs))
+                      .with_a2(0),                          // onset, not escalation
+                  Pat{EventKind::kRecoveryThrottle, kDs},   // rung 1.5: throttle
+                  Pat{EventKind::kFeverOnset}.with_a0(static_cast<std::uint64_t>(kDs))
+                      .with_a2(1),                          // still hot under throttle
+                  Pat{EventKind::kRecoveryQuarantine, kDs}, // rung 2 + fault disarm
+                  Pat{EventKind::kRecoveryRestart, kDs},    // reset to boot image
+              }));
+  // The storm is invisible to the crash/hang rungs: no crash landmark and no
+  // stateless backoff park anywhere in the run.
+  EXPECT_TRUE(expect_absent(r.landmarks, Pat{EventKind::kCrash}));
+  EXPECT_TRUE(expect_absent(r.landmarks, Pat{EventKind::kRecoveryStateless}));
+  EXPECT_TRUE(trace_test::check_golden("storm_detect.trace", r.landmarks_text));
+}
+
+// --- Zero false positives: the monitor must not perturb the crash goldens ---
+// Re-run the rung-2 ladder scenario with health monitoring ON: the landmark
+// stream must match the same golden byte-for-byte (no FeverOnset, no
+// Throttle), proving legitimate crash-recovery churn never reads as a storm.
+TEST(TraceGolden, HealthMonitorIsSilentThroughLadderScenario) {
+  FiGuard guard;
+  const auto profile = [](ISys& sys) {
+    for (int i = 0; i < 30; ++i) sys.ds_publish("g.key", 1);
+  };
+  fi::Site* site = busiest_site("ds", profile);
+  ASSERT_NE(site, nullptr);
+
+  const TraceRun r = run_traced(
+      [](os::OsConfig& cfg) {
+        cfg.health.enabled = true;  // the only delta vs LadderQuarantineParkAndReadmit
+        cfg.ladder.backoff_base_ticks = 50;
+        cfg.ladder.quarantine_cooldown_ticks = 400;
+      },
+      [&](fi::Registry& reg) { reg.arm_persistent(site, fi::FaultType::kNullDeref, 2); },
+      [](ISys& sys) {
+        for (int i = 0; i < 200; ++i) sys.ds_publish("g.key", static_cast<std::uint64_t>(i));
+      });
+
+  EXPECT_EQ(r.outcome, OsInstance::Outcome::kCompleted);
+  EXPECT_TRUE(expect_absent(r.landmarks, Pat{EventKind::kFeverOnset}));
+  EXPECT_TRUE(expect_absent(r.landmarks, Pat{EventKind::kRecoveryThrottle}));
+  EXPECT_TRUE(trace_test::check_golden("ladder_quarantine_readmit.trace", r.landmarks_text));
+}
+
 // --- Symbolic IPC golden: the spec-driven trace naming layer ----------------
 // A fault-free run, filtered to the IPC events, pins the protocol by *name*
 // (PM_FORK, VFS_OPEN, RS_PING+notify, ...) end to end: a renamed, renumbered

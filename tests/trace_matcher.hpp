@@ -144,7 +144,8 @@ inline std::vector<trace::Event> recovery_landmarks(const std::vector<trace::Eve
                        {EventKind::kWindowOpen, EventKind::kWindowClose, EventKind::kFaultFire,
                         EventKind::kCrash, EventKind::kRecoveryRestart,
                         EventKind::kRecoveryRollback, EventKind::kRecoveryStateless,
-                        EventKind::kRecoveryQuarantine, EventKind::kRecoveryReadmit});
+                        EventKind::kRecoveryQuarantine, EventKind::kRecoveryReadmit,
+                        EventKind::kFeverOnset, EventKind::kRecoveryThrottle});
 }
 
 /// Compare `text` against tests/golden/<name>. With OSIRIS_REGOLDEN set the

@@ -31,7 +31,7 @@ using osiris::os::OsInstance;
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--scenario transient|ladder|hang] [--text FILE] [--chrome FILE]\n"
+            << " [--scenario transient|ladder|hang|storm] [--text FILE] [--chrome FILE]\n"
                "       [--ring EVENTS] [--fastpath]\n"
             << "  --scenario S  fault scenario to trace (default: transient)\n"
             << "                  transient: one in-window PM crash, rolled back and\n"
@@ -39,6 +39,8 @@ int usage(const char* argv0) {
             << "                  ladder:    persistent DS bug climbing the escalation\n"
             << "                             ladder into quarantine and back\n"
             << "                  hang:      injected DS hang caught by RS heartbeats\n"
+            << "                  storm:     DS handler-spin storm caught by the health\n"
+            << "                             monitor (fever -> throttle -> quarantine)\n"
             << "  --text FILE   write the merged text trace to FILE ('-' = stdout;\n"
             << "                default when no --chrome is given)\n"
             << "  --chrome FILE write a Chrome trace_event JSON timeline to FILE\n"
@@ -107,6 +109,14 @@ ScenarioResult run_scenario(const std::string& name, std::size_t ring_capacity, 
     body = [](ISys& sys) {
       for (int i = 0; i < 30; ++i) sys.ds_publish("trace.key", static_cast<std::uint64_t>(i));
     };
+  } else if (name == "storm") {
+    site = busiest_site("ds", [](ISys& sys) {
+      for (int i = 0; i < 30; ++i) sys.ds_publish("trace.key", 1);
+    });
+    cfg.health.enabled = true;  // the monitor is the detector for this one
+    body = [](ISys& sys) {
+      for (int i = 0; i < 200; ++i) sys.ds_publish("trace.key", static_cast<std::uint64_t>(i));
+    };
   } else {
     throw std::runtime_error("unknown scenario: " + name);
   }
@@ -121,6 +131,10 @@ ScenarioResult run_scenario(const std::string& name, std::size_t ring_capacity, 
     osiris::fi::Registry::instance().arm(site, osiris::fi::FaultType::kNullDeref, 15);
   } else if (name == "ladder") {
     osiris::fi::Registry::instance().arm_persistent(site, osiris::fi::FaultType::kNullDeref, 2);
+  } else if (name == "storm") {
+    osiris::fi::Registry::instance().set_storm_plan(/*victim=*/-1, /*burst=*/4);
+    osiris::fi::Registry::instance().arm_persistent(site, osiris::fi::FaultType::kHandlerSpin,
+                                                    10);
   } else {
     osiris::fi::Registry::instance().arm(site, osiris::fi::FaultType::kHang, 5);
   }
@@ -199,6 +213,8 @@ int main(int argc, char** argv) {
             << " outcome=" << OsInstance::outcome_name(result.outcome)
             << " fastpath=" << (fastpath ? "on" : "off") << " queue-hw=" << ks.queue_high_water
             << " spills=" << ks.arena_spills << " batches=" << ks.batches << "/"
-            << ks.batched_messages << " zero-copy-bytes=" << ks.grant_bypass_bytes << '\n';
+            << ks.batched_messages << " zero-copy-bytes=" << ks.grant_bypass_bytes
+            << " fevers=" << ks.fever_onsets << " throttled-drops=" << ks.throttled_drops
+            << '\n';
   return result.outcome == OsInstance::Outcome::kCompleted ? 0 : 3;
 }
