@@ -20,6 +20,13 @@
 // columns for BENCH_serving.json. Acceptance: fastpath >= 1.5x baseline
 // steady-state msgs/sec.
 //
+// A final miss-regime sweep (DESIGN.md §16) shrinks the block cache to an
+// eighth of the working set and runs the full fast path with the VFS fiber
+// path vs the FOM executor across an in-flight-depth axis (1, N/4, N
+// clients): the executor overlaps the 40-tick disk waits the fiber path
+// serializes, and the per-run fom_stats (parks, in_flight_high_water) land
+// in the JSON so the overlap is auditable, not inferred.
+//
 // Usage: serving_load [--clients N] [--seconds S] [--interval TICKS]
 //                     [--payload BYTES] [--seed S] [--profile mixed|bulk|meta]
 //                     [--fault-interval N] [--out FILE.json]
@@ -38,6 +45,7 @@
 
 #include "fi/registry.hpp"
 #include "os/instance.hpp"
+#include "servers/fom.hpp"
 #include "servers/protocol.hpp"
 #include "support/rng.hpp"
 
@@ -318,6 +326,15 @@ struct RunResult {
   std::uint64_t restarts = 0;
   std::uint64_t rollbacks = 0;
   kernel::KernelStats kstats;
+  // Miss-regime rows only: the in-flight-depth axis (depth = clients) and
+  // the executor's own accounting — parks/resumes prove the stall was real,
+  // in_flight_high_water that the executor actually overlapped it. The
+  // disk's 40-tick wait exists in virtual time, so the stall shows up in
+  // virtual-time throughput (msgs per kilotick), not host msgs/sec.
+  int depth = 0;
+  bool fom_enabled = false;
+  double msgs_per_ktick = 0.0;
+  servers::FomStats fom{};
 };
 
 double percentile_us(std::vector<std::uint64_t>& v, double p) {
@@ -354,7 +371,8 @@ double spike_width_ms(const RunAccum& acc, double steady_mean_ns) {
 }
 
 RunResult run_serving(const Options& opt, const std::string& config_name,
-                      const kernel::FastPath& fp, fi::Site* fault_site, double steady_mean_ns) {
+                      const kernel::FastPath& fp, fi::Site* fault_site, double steady_mean_ns,
+                      bool fom = false, bool miss_regime = false) {
   fi::Registry::instance().disarm();
   fi::Registry::instance().reset_counts();
 
@@ -372,12 +390,23 @@ RunResult run_serving(const Options& opt, const std::string& config_name,
   // optimizes host work per message, so the serving benchmark measures the
   // cache-hit regime (the setup writes below warm the cache).
   // 8x the payload per file (clamped to the FS max) keeps the rewind lseek —
-  // a cheap non-FS message — a small fraction of the bulk op stream.
-  const std::size_t file_bytes = std::min<std::size_t>(8 * opt.payload, fs::kMaxFileSize);
+  // a cheap non-FS message — a small fraction of the bulk op stream. Miss
+  // runs stream 64x so every depth's working set dwarfs the shrunken cache.
+  const std::size_t file_bytes =
+      std::min<std::size_t>((miss_regime ? 64 : 8) * opt.payload, fs::kMaxFileSize);
   const std::size_t file_blocks =
       static_cast<std::size_t>(opt.clients) * file_bytes / fs::kBlockSize;
   cfg.disk_blocks = 2 * file_blocks + 2048;
   cfg.cache_blocks = file_blocks + 256;
+  if (miss_regime) {
+    // Miss regime: the cache holds an eighth of the working set, so the bulk
+    // stream is disk-bound and nearly every read crosses the 40-tick device
+    // wait. The fiber path pays that wait serially per request; the FOM
+    // executor parks the request and keeps serving, which is the stall this
+    // phase exists to show removed.
+    cfg.cache_blocks = std::max<std::size_t>(file_blocks / 8, 16);
+  }
+  cfg.vfs_fom = fom;
   cfg.fastpath = fp;
   os::OsInstance inst(cfg);
   inst.boot();
@@ -427,6 +456,7 @@ RunResult run_serving(const Options& opt, const std::string& config_name,
   }
 
   kernel::Kernel& kern = inst.kern();
+  const Tick virt_start = inst.clock().now();
   acc.phase_start = HostClock::now();
   const auto deadline =
       acc.phase_start + std::chrono::duration_cast<HostClock::duration>(
@@ -436,6 +466,7 @@ RunResult run_serving(const Options& opt, const std::string& config_name,
   }
   const double elapsed = to_sec(HostClock::now() - acc.phase_start);
   const std::uint64_t at_deadline = acc.completed + acc.errors;
+  const Tick virt_elapsed = inst.clock().now() - virt_start;
   acc.stopped = true;
 
   // Drain in-flight requests (bounded: a fault resolved as no-reply can
@@ -454,7 +485,16 @@ RunResult run_serving(const Options& opt, const std::string& config_name,
 
   RunResult r;
   r.config = config_name;
-  r.phase = fault_site != nullptr ? "faulted" : "steady";
+  r.phase = fault_site != nullptr ? "faulted" : (miss_regime ? "miss" : "steady");
+  if (miss_regime) {
+    r.depth = opt.clients;
+    r.fom_enabled = fom;
+    r.fom = *inst.vfs().fom_stats();
+    r.msgs_per_ktick = virt_elapsed > 0
+                           ? static_cast<double>(at_deadline) * 1000.0 /
+                                 static_cast<double>(virt_elapsed)
+                           : 0.0;
+  }
   r.completed = acc.completed;
   r.errors = acc.errors;
   for (const auto& c : clients) {
@@ -494,6 +534,22 @@ void json_run(std::FILE* f, const RunResult& r, bool last) {
                  r.spike_width_ms, static_cast<unsigned long long>(r.crashes),
                  static_cast<unsigned long long>(r.restarts),
                  static_cast<unsigned long long>(r.rollbacks));
+  }
+  if (r.depth > 0) {
+    std::fprintf(f,
+                 "     \"depth\": %d, \"fom\": %s, \"msgs_per_ktick\": %.2f,\n"
+                 "     \"fom_stats\": {\"admitted\": %llu, "
+                 "\"parks\": %llu, \"resumes\": %llu, \"aborts\": %llu, "
+                 "\"sync_fallbacks\": %llu, \"in_flight_high_water\": %llu, "
+                 "\"wait_ticks_total\": %llu},\n",
+                 r.depth, r.fom_enabled ? "true" : "false", r.msgs_per_ktick,
+                 static_cast<unsigned long long>(r.fom.admitted),
+                 static_cast<unsigned long long>(r.fom.parks),
+                 static_cast<unsigned long long>(r.fom.resumes),
+                 static_cast<unsigned long long>(r.fom.aborts),
+                 static_cast<unsigned long long>(r.fom.sync_fallbacks),
+                 static_cast<unsigned long long>(r.fom.in_flight_high_water),
+                 static_cast<unsigned long long>(r.fom.wait_ticks_total));
   }
   std::fprintf(f,
                "     \"kernel\": {\"messages_queued\": %llu, \"queue_high_water\": %llu, "
@@ -653,6 +709,48 @@ int main(int argc, char** argv) {
   const double speedup = base_steady > 0 ? fast_steady / base_steady : 0.0;
   std::printf("\nsteady-state speedup (fastpath / baseline): %.2fx\n", speedup);
 
+  // Miss-regime sweep over in-flight depth (DESIGN.md §16): fiber path vs
+  // FOM executor, both on the full fast path, with the cache shrunk to an
+  // eighth of the working set. Depth = concurrent clients: at depth 1 the
+  // two paths tie (nothing to overlap), and the executor's advantage grows
+  // with depth because parked requests stop serializing the disk waits.
+  std::printf("\n%-14s %-6s %6s %12s %12s %10s %9s %8s\n", "config", "phase", "depth",
+              "msgs/ktick", "msgs/sec", "p50us", "inflight", "parks");
+  std::vector<int> depths;
+  for (const int d : {1, opt.clients / 4, opt.clients}) {
+    if (d >= 1 && (depths.empty() || d > depths.back())) depths.push_back(d);
+  }
+  double fiber_miss = 0.0, fom_miss = 0.0;  // msgs/ktick at max depth
+  for (const int depth : depths) {
+    Options miss_opt = opt;
+    miss_opt.clients = depth;
+    // Block-sized ops: the serving-miss workload is random single-block
+    // reads over a cold set. Bulk multi-block ops would re-run the handler
+    // once per missing block under the executor (the documented re-execution
+    // amplification, EXPERIMENTS.md), which measures re-run cost, not the
+    // stall; one block per op isolates the overlap the axis is after.
+    miss_opt.payload = fs::kBlockSize;
+    for (const bool fom : {false, true}) {
+      std::vector<RunResult> reps;
+      for (int rep = 0; rep < opt.reps; ++rep) {
+        reps.push_back(run_serving(miss_opt, fom ? "fastpath_fom" : "fastpath",
+                                   kernel::FastPath::all_on(), nullptr, 0.0, fom,
+                                   /*miss_regime=*/true));
+      }
+      RunResult miss = median_rep(reps);
+      std::printf("%-14s %-6s %6d %12.2f %12.1f %10.2f %9llu %8llu\n", miss.config.c_str(),
+                  miss.phase.c_str(), miss.depth, miss.msgs_per_ktick, miss.msgs_per_sec,
+                  miss.p50_us, static_cast<unsigned long long>(miss.fom.in_flight_high_water),
+                  static_cast<unsigned long long>(miss.fom.parks));
+      std::fflush(stdout);
+      if (depth == depths.back()) (fom ? fom_miss : fiber_miss) = miss.msgs_per_ktick;
+      results.push_back(miss);
+    }
+  }
+  const double fom_speedup = fiber_miss > 0 ? fom_miss / fiber_miss : 0.0;
+  std::printf("\nmiss-regime virtual-time speedup at depth %d (fom / fiber): %.2fx\n",
+              depths.back(), fom_speedup);
+
   std::FILE* f = stdout;
   if (!opt.out.empty()) {
     f = std::fopen(opt.out.c_str(), "w");
@@ -668,12 +766,13 @@ int main(int argc, char** argv) {
                "  \"profile\": \"%s\",\n  \"payload_bytes\": %zu,\n  \"seed\": %llu,\n"
                "  \"mean_interval_ticks\": %.1f,\n  \"fault_interval\": %llu,\n"
                "  \"speedup_steady\": %.3f,\n"
+               "  \"speedup_miss_fom\": %.3f,\n"
                "  \"spike_width_ms\": {\"baseline\": %.1f, \"fastpath\": %.1f},\n"
                "  \"runs\": [\n",
                opt.clients, opt.seconds, opt.profile.c_str(), opt.payload,
                static_cast<unsigned long long>(opt.seed), opt.mean_interval,
-               static_cast<unsigned long long>(opt.fault_interval), speedup, base_spike,
-               fast_spike);
+               static_cast<unsigned long long>(opt.fault_interval), speedup, fom_speedup,
+               base_spike, fast_spike);
   for (std::size_t i = 0; i < results.size(); ++i) {
     json_run(f, results[i], i + 1 == results.size());
   }

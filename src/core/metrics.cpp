@@ -1,5 +1,6 @@
 #include "core/metrics.hpp"
 
+#include "servers/fom.hpp"
 #include "support/table_printer.hpp"
 
 namespace osiris::core {
@@ -23,6 +24,15 @@ SystemMetrics collect_metrics(os::OsInstance& inst) {
     cm.undo_records = ls.records;
     cm.checkpoints_skipped = ls.checkpoints_skipped;
     cm.recoveries = inst.engine().recoveries_of(comp->endpoint());
+    if (const servers::FomStats* fs = comp->fom_stats()) {
+      cm.fom_admitted = fs->admitted;
+      cm.fom_parks = fs->parks;
+      cm.fom_resumes = fs->resumes;
+      cm.fom_aborts = fs->aborts;
+      cm.fom_sync_fallbacks = fs->sync_fallbacks;
+      cm.fom_in_flight_high_water = fs->in_flight_high_water;
+      cm.fom_wait_ticks = fs->wait_ticks_total;
+    }
 #if OSIRIS_TRACE_ENABLED
     if (const trace::Tracer* tracer = inst.tracer()) {
       if (const trace::EventRing* ring = tracer->ring(comp->endpoint().value)) {
@@ -65,6 +75,7 @@ SystemMetrics collect_metrics(os::OsInstance& inst) {
   m.rollbacks = es.rollbacks;
   m.error_replies = es.error_replies;
   m.shutdowns = es.shutdowns;
+  m.fom_reconciles = es.fom_reconciles;
   m.storm_throttles = es.storm_throttles;
   m.storm_quarantines = es.storm_quarantines;
   m.detection_latency_ticks = es.detection_latency_ticks;
@@ -121,6 +132,17 @@ std::string SystemMetrics::report() const {
          std::to_string(shutdowns) + " shutdowns\n";
   out += "classification: " + std::to_string(classification_defaults) +
          " default-trait lookups\n";
+  for (const ComponentMetrics& c : components) {
+    if (c.fom_admitted == 0) continue;
+    out += "fom[" + c.name + "]: " + std::to_string(c.fom_admitted) + " admitted, " +
+           std::to_string(c.fom_parks) + " parks, " + std::to_string(c.fom_resumes) +
+           " resumes, " + std::to_string(c.fom_aborts) + " aborts, " +
+           std::to_string(c.fom_sync_fallbacks) + " sync fallbacks, high-water " +
+           std::to_string(c.fom_in_flight_high_water) + ", " +
+           std::to_string(c.fom_wait_ticks) + " wait ticks";
+    if (fom_reconciles > 0) out += ", " + std::to_string(fom_reconciles) + " reconciles";
+    out += "\n";
+  }
   if (fever_onsets > 0 || health_charges > 0 || storm_throttles > 0 || dispatch_aborts > 0) {
     out += "health: " + std::to_string(health_charges) + " charges, " +
            std::to_string(fever_onsets) + " fever onsets, " + std::to_string(throttled_drops) +

@@ -22,6 +22,16 @@ struct ComponentMetrics {
   std::uint64_t checkpoints_skipped = 0;  // lazy checkpoints elided (DESIGN.md §14)
   std::uint32_t recoveries = 0;
 
+  // FOM executor (DESIGN.md §16): all zero unless the component runs the
+  // executor (cfg.vfs_fom) and requests actually parked mid-flight.
+  std::uint64_t fom_admitted = 0;
+  std::uint64_t fom_parks = 0;
+  std::uint64_t fom_resumes = 0;
+  std::uint64_t fom_aborts = 0;
+  std::uint64_t fom_sync_fallbacks = 0;
+  std::uint64_t fom_in_flight_high_water = 0;
+  std::uint64_t fom_wait_ticks = 0;
+
   // Event tracing (zero unless the run had cfg.trace_enabled on an
   // OSIRIS_TRACE=ON build): flight-recorder health per component.
   std::uint64_t trace_events = 0;        // events currently retained in the ring
@@ -56,6 +66,7 @@ struct SystemMetrics {
   std::uint64_t rollbacks = 0;
   std::uint64_t error_replies = 0;
   std::uint64_t shutdowns = 0;
+  std::uint64_t fom_reconciles = 0;  // windowed recoveries reconciled by the FOM executor
 
   // Physiological health monitor + storm rung (DESIGN.md §15). All zero when
   // cfg.health.enabled is off (the default), except health_charges which

@@ -57,6 +57,13 @@ struct OsConfig {
   /// flag, and golden traces pin observational equivalence.
   kernel::FastPath fastpath;
 
+  /// FOM request executor for VFS (DESIGN.md §16): cache misses park the
+  /// request as a resumable state machine instead of suspending a worker
+  /// fiber, so the SEEP window machinery stays live across the disk wait.
+  /// Off by default so every pre-existing scenario — and every golden
+  /// trace — is bit-identical.
+  bool vfs_fom = false;
+
   /// Physiological health monitor (DESIGN.md §15): per-endpoint fever
   /// detection feeding the ladder's storm rung. Off by default so every
   /// pre-existing scenario — and every golden trace — is bit-identical.

@@ -149,6 +149,7 @@ void OsInstance::boot() {
   vm_ = std::make_unique<servers::Vm>(*kernel_, classification_, cfg_.policy, mode);
   vfs_ = std::make_unique<servers::Vfs>(*kernel_, classification_, cfg_.policy, mode, *disk_,
                                         cfg_.cache_blocks);
+  vfs_->set_fom_enabled(cfg_.vfs_fom);
   ds_ = std::make_unique<servers::Ds>(*kernel_, classification_, cfg_.policy, mode);
   rs_ = std::make_unique<servers::Rs>(*kernel_, classification_, cfg_.policy, mode);
 

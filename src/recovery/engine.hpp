@@ -67,6 +67,7 @@ struct EngineStats {
   std::uint64_t stateless_restarts = 0;
   std::uint64_t naive_restarts = 0;
   std::uint64_t requester_kills = 0;  // SVII extended-policy reconciliations
+  std::uint64_t fom_reconciles = 0;   // windowed recoveries reconciled by the FOM executor
   // --- escalation ladder -------------------------------------------------
   std::uint64_t transient_crashes = 0;  // classified below the recurrence rate
   std::uint64_t recurring_crashes = 0;  // classified as a crash loop

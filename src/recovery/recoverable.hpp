@@ -14,6 +14,10 @@
 #include "kernel/endpoint.hpp"
 #include "seep/window.hpp"
 
+namespace osiris::servers {
+struct FomStats;  // servers/fom.hpp; forward-declared to keep layering acyclic
+}  // namespace osiris::servers
+
 namespace osiris::recovery {
 
 class Recoverable {
@@ -38,6 +42,16 @@ class Recoverable {
   /// paper describes for the multithreaded VFS (SIV-E). `rolled_back` tells
   /// the component whether the undo log was applied.
   virtual void on_restored(bool rolled_back) = 0;
+
+  /// True when the component can reconcile an unreplyable in-flight message
+  /// itself after a windowed recovery. The FOM executor returns true: a crash
+  /// during a resumed attempt arrives via a kernel notification (no replyable
+  /// sender), but the executor knows the parked request's real requester and
+  /// sends the E_CRASH reconciliation reply on its own.
+  [[nodiscard]] virtual bool can_reconcile_inflight() const { return false; }
+
+  /// Executor statistics, or nullptr for components without a FOM executor.
+  [[nodiscard]] virtual const servers::FomStats* fom_stats() const { return nullptr; }
 
   /// Extra memory the spare clone must pre-allocate beyond the data section.
   /// The Virtual Memory Manager needs a substantial recovery arena so that

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "support/log.hpp"
+#include "trace/trace.hpp"
 
 namespace osiris::servers {
 
@@ -75,10 +76,11 @@ bool Vfs::has_pending_work() const {
   for (const Worker& w : workers_) {
     if (w.wait_token != 0) return true;
   }
+  if (fom_.in_flight() > 0 || !pending_reads_.empty()) return true;
   return !backlog_.empty();
 }
 
-void Vfs::on_restored(bool /*rolled_back*/) {
+void Vfs::on_restored(bool rolled_back) {
   // Cooperative-thread-library fixup (paper SIV-E): the library still thinks
   // the crashed thread is running; repair the current-thread variable and
   // return the worker to the run queue (here: to a clean idle state). The
@@ -91,6 +93,51 @@ void Vfs::on_restored(bool /*rolled_back*/) {
     current_worker_->wait_token = 0;
     current_worker_ = nullptr;
   }
+
+  if (rolled_back) {
+    // Windowed recovery. Parked FOMs own zero live undo entries (the
+    // park-time sub-rollback), so the full-log rollback restored a state
+    // consistent with every one of them re-running later: they survive, and
+    // their queued disk completions resume them. Only the FOM that crashed
+    // mid-attempt is dropped.
+    if (current_fom_ != 0 && fom_.contains(current_fom_)) {
+      const FomRecord rec = fom_.get(current_fom_);
+      const bool reconcile = !current_initial_;
+      if (reconcile) {
+        // The crash hit a *resumed* attempt: the dispatched message was the
+        // disk-completion notify, so the engine cannot answer the requester —
+        // the executor reconciles it here (error virtualization, E_CRASH).
+        seep_deferred_reply(rec.req.sender, make_reply(rec.req.type, kernel::E_CRASH));
+      }
+      OSIRIS_TRACE_EVENT(kFomAbort, endpoint().value, current_fom_, reconcile ? 1 : 0);
+      fom_.abort(current_fom_);
+    }
+    current_fom_ = 0;
+    current_initial_ = true;
+    return;
+  }
+
+  // Restart from the boot image (stateless rung, quarantine, storm rung):
+  // every live FOM dies with the state it was parked against. The one that
+  // crashed mid-dispatch (if any) is answered by the engine's own
+  // reconciliation; the rest get E_CRASH from the executor so no requester
+  // hangs on a request the reborn component has never heard of.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(fom_.in_flight());
+  for (const auto& [id, rec] : fom_.live()) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    const FomRecord rec = fom_.get(id);
+    const bool engine_replies = id == current_fom_ && current_initial_;
+    const bool window_replies = policy_uses_windows(window().policy());
+    if (!engine_replies && window_replies) {
+      seep_deferred_reply(rec.req.sender, make_reply(rec.req.type, kernel::E_CRASH));
+    }
+    OSIRIS_TRACE_EVENT(kFomAbort, endpoint().value, id, engine_replies ? 0 : 1);
+    fom_.abort(id);
+  }
+  pending_reads_.clear();
+  current_fom_ = 0;
+  current_initial_ = true;
 }
 
 // --- CachedStore -----------------------------------------------------------
@@ -99,6 +146,38 @@ void Vfs::CachedStore::read_block(std::uint32_t bno,
                                   std::span<std::byte, fs::kBlockSize> out) {
   if (std::byte* hit = vfs_.cache_.lookup(bno); hit != nullptr) {
     std::memcpy(out.data(), hit, fs::kBlockSize);
+    return;
+  }
+  if (vfs_.fom_enabled_ && vfs_.current_fom_ != 0) {
+    // FOM mode: a miss unwinds the attempt instead of parking a fiber. Park
+    // soundness requires that every store of the attempt was undo-logged
+    // (should_log()) — otherwise the re-run would double-apply VfsState
+    // mutations — AND that the window is still open: filesystem mutations
+    // (write_block) close the window, so an open window proves the attempt
+    // has no cache/disk side effects a rollback cannot undo. (Under kAlways
+    // the log outlives the window, so should_log alone is not enough.) The
+    // livelock guard caps how often one request may retry before degrading
+    // to a synchronous wait.
+    FomRecord& rec = vfs_.fom_.get(vfs_.current_fom_);
+    bool parkable = vfs_.window().is_open() && vfs_.ckpt_context().should_log() &&
+                    !rec.sync_fallback;
+    if (parkable && rec.retries >= kVfsFomMaxRetries) {
+      rec.sync_fallback = true;
+      parkable = false;
+    }
+    if (parkable) throw fs::BlockMiss(bno);
+    vfs_.fom_.note_sync_fallback();
+    // analyze-suppress(blocking-in-handler): FOM sync fallback — reached only
+    // when the window already closed (nothing left to preserve by parking) or
+    // the retry cap fired; the executor degrades to the pre-FOM blocking wait.
+    vfs_.dev_.read_now(bno, out);
+    std::optional<std::pair<std::uint32_t, std::vector<std::byte>>> evicted_sync;
+    vfs_.cache_.insert(bno, std::span<const std::byte, fs::kBlockSize>(out), &evicted_sync);
+    if (evicted_sync) {
+      vfs_.dev_.submit_write(evicted_sync->first,
+                             std::span<const std::byte, fs::kBlockSize>(evicted_sync->second),
+                             [] {});
+    }
     return;
   }
   Worker* w = vfs_.current_worker_;
@@ -223,10 +302,15 @@ std::optional<Message> Vfs::do_rw(const Message& m) {
     r.arg[2] = st().files.at(fidx).pos;
     return r;
   }
-  return start_or_queue(m);
+  return start_request(m);
 }
 
-std::optional<Message> Vfs::do_worker_op(const Message& m) { return start_or_queue(m); }
+std::optional<Message> Vfs::do_worker_op(const Message& m) { return start_request(m); }
+
+std::optional<Message> Vfs::start_request(const Message& m) {
+  if (fom_enabled_) return fom_execute(m);
+  return start_or_queue(m);
+}
 
 std::optional<Message> Vfs::start_or_queue(const Message& m) {
   FI_BLOCK("vfs");
@@ -278,7 +362,122 @@ void Vfs::on_dev_done(std::uint64_t token) {
       return;
     }
   }
+  if (fom_dev_done(token)) return;
   // Stale completion (e.g. the worker was reset by recovery): ignore.
+}
+
+// --- FOM executor ----------------------------------------------------------
+
+std::optional<Message> Vfs::fom_execute(const Message& m) {
+  FI_BLOCK("vfs");
+  const std::uint64_t id = fom_.admit(m);
+  return fom_run(id, /*initial=*/true);
+}
+
+std::optional<Message> Vfs::fom_run(std::uint64_t id, bool initial) {
+  const Message m = fom_.get(id).req;
+  const std::uint64_t prev_fom = current_fom_;
+  const bool prev_initial = current_initial_;
+  current_fom_ = id;
+  current_initial_ = initial;
+  // Everything the attempt stores past this mark is speculative until the
+  // request completes: a park rolls back to here, so a parked FOM owns zero
+  // live undo entries and full-log rollback stays consistent with N requests
+  // mid-flight (the epoch-occupancy invariant, DESIGN.md §16).
+  const ckpt::UndoLog::Mark mark = ckpt_context().log().mark();
+  try {
+    const Message reply = run_fs_op(m);
+    current_fom_ = prev_fom;
+    current_initial_ = prev_initial;
+    fom_.finish(id);
+    return reply;
+  } catch (const fs::BlockMiss& miss) {
+    current_fom_ = prev_fom;
+    current_initial_ = prev_initial;
+    ckpt_context().log().rollback_to(mark);
+    window().fom_park();
+    fom_.park(id, kern().clock().now());
+    OSIRIS_TRACE_EVENT(kFomPark, endpoint().value, id, miss.bno);
+    fom_submit_read(miss.bno, id);
+    return std::nullopt;
+  }
+  // A fail-stop fault propagates past this frame with current_fom_ still
+  // set — on_restored() uses it to find the crashed request, exactly like
+  // current_worker_ in fiber mode.
+}
+
+void Vfs::fom_submit_read(std::uint32_t bno, std::uint64_t id) {
+  // Several FOMs missing the same block share one disk read (the map is
+  // small: one entry per distinct in-flight miss).
+  for (auto& [tok, pr] : pending_reads_) {
+    if (pr.bno == bno) {
+      pr.waiters.push_back(id);
+      return;
+    }
+  }
+  const std::uint64_t token = next_token_++;
+  PendingRead& pr = pending_reads_[token];
+  pr.bno = bno;
+  pr.staging = std::make_shared<std::array<std::byte, fs::kBlockSize>>();
+  pr.waiters.push_back(id);
+  kernel::Kernel* k = &kern();
+  const auto self = endpoint();
+  dev_.submit_read(bno, std::span<std::byte, fs::kBlockSize>(*pr.staging),
+                   [k, self, token, staging = pr.staging] {
+                     Message done = encode(VFS_DEV_DONE | kernel::kNotifyBit, token);
+                     // analyze-suppress(raw-kernel-send): self-directed disk
+                     // completion; the parked FOM's window is suspended.
+                     k->send(self, self, done);
+                   });
+}
+
+bool Vfs::fom_dev_done(std::uint64_t token) {
+  const auto it = pending_reads_.find(token);
+  if (it == pending_reads_.end()) return false;
+  PendingRead pr = std::move(it->second);
+  pending_reads_.erase(it);
+  if (pr.staging) {
+    std::optional<std::pair<std::uint32_t, std::vector<std::byte>>> evicted;
+    cache_.insert(pr.bno, std::span<const std::byte, fs::kBlockSize>(*pr.staging), &evicted);
+    if (evicted) {
+      dev_.submit_write(evicted->first,
+                        std::span<const std::byte, fs::kBlockSize>(evicted->second), [] {});
+    }
+  }
+  // Waiters aborted while parked (boot-image restart) are simply gone.
+  while (!pr.waiters.empty() && !fom_.contains(pr.waiters.front())) {
+    pr.waiters.erase(pr.waiters.begin());
+  }
+  if (pr.waiters.empty()) return true;
+  const std::uint64_t id = pr.waiters.front();
+  pr.waiters.erase(pr.waiters.begin());
+  if (!pr.waiters.empty()) {
+    // Resume exactly one FOM per notification and chain the rest through a
+    // fresh self-notify: if a resumed attempt crashes, the queued chain
+    // survives recovery, so the remaining waiters are never orphaned.
+    const std::uint64_t t2 = next_token_++;
+    pending_reads_[t2] = PendingRead{pr.bno, nullptr, std::move(pr.waiters)};
+    Message done = encode(VFS_DEV_DONE | kernel::kNotifyBit, t2);
+    // analyze-suppress(raw-kernel-send): self-directed resume chaining; the
+    // block is cached, only the dispatch round-trip is deferred.
+    kern().send(endpoint(), endpoint(), done);
+  }
+  FomRecord& rec = fom_.get(id);
+  const kernel::Endpoint requester = rec.req.sender;
+  const std::uint32_t msg_type = rec.req.type;
+  // Reopen the window for the re-run: checkpoint + open without counting a
+  // new window (a parked+resumed request is still one request).
+  window().fom_resume(msg_type);
+  fom_.resume(id, kern().clock().now());
+  OSIRIS_TRACE_EVENT(kFomResume, endpoint().value, id, msg_type);
+  const std::optional<Message> reply = fom_run(id, /*initial=*/false);
+  // Natural end of the resumed request: close the window BEFORE the deferred
+  // reply goes out, exactly like the fiber path (where the reply is sent from
+  // a notify dispatch whose window never opened) — the request's own reply
+  // must not read as a window-closing SEEP.
+  window().end_of_request();
+  if (reply) seep_deferred_reply(requester, *reply);
+  return true;
 }
 
 void Vfs::pump_queue() {

@@ -87,7 +87,7 @@ std::vector<Injection> plan_edfi(std::uint64_t seed, int injections_per_site) {
 }
 
 RunClass run_one_injection(seep::Policy policy, const Injection& inj, std::string* trace_out,
-                           const kernel::FastPath& fastpath) {
+                           const CampaignOptions& opts) {
   // The calling thread's registry: each worker owns an isolated probe
   // runtime, so concurrent injections never see each other's state.
   fi::Registry& reg = fi::Registry::instance();
@@ -96,7 +96,9 @@ RunClass run_one_injection(seep::Policy policy, const Injection& inj, std::strin
 
   os::OsConfig cfg;
   cfg.policy = policy;
-  cfg.fastpath = fastpath;
+  cfg.fastpath = opts.fastpath;
+  cfg.vfs_fom = opts.vfs_fom;
+  if (opts.cache_blocks != 0) cfg.cache_blocks = opts.cache_blocks;
 #if OSIRIS_TRACE_ENABLED
   cfg.trace_enabled = trace_out != nullptr;
 #endif
@@ -145,7 +147,7 @@ std::vector<RunClass> run_plan(seep::Policy policy, const std::vector<Injection>
       plan.size(), opts.jobs, [&](std::size_t i) {
         // Workers write disjoint, pre-sized slots: no lock needed.
         std::string* trace_out = opts.traces != nullptr ? &(*opts.traces)[i] : nullptr;
-        classes[i] = run_one_injection(policy, plan[i], trace_out, opts.fastpath);
+        classes[i] = run_one_injection(policy, plan[i], trace_out, opts);
         if (opts.progress) {
           // Increment under the same lock as the callback so `done` is
           // strictly monotonic in call order, not just in total.

@@ -58,17 +58,6 @@ std::vector<Injection> plan_failstop(int points_per_site = 3);
 /// Draw the full-EDFI plan: a seeded mix of applicable fault types.
 std::vector<Injection> plan_edfi(std::uint64_t seed = 316, int injections_per_site = 2);
 
-/// Run one injection under a policy; returns its classification. Touches
-/// only thread-scoped simulator state, so calls may run concurrently on
-/// distinct threads. When `trace_out` is non-null (and the build has
-/// OSIRIS_TRACE=ON), the run executes with event tracing enabled and the
-/// merged, sequence-ordered text trace is stored there. `fastpath`
-/// configures the kernel IPC fast path for the run (off by default, like
-/// OsConfig).
-RunClass run_one_injection(seep::Policy policy, const Injection& inj,
-                           std::string* trace_out = nullptr,
-                           const kernel::FastPath& fastpath = {});
-
 struct CampaignTotals {
   int pass = 0;
   int fail = 0;
@@ -103,7 +92,24 @@ struct CampaignOptions {
   /// and traces must be invariant under these (DESIGN.md §14) — campaigns
   /// with batching or the arena on are how that is tested at scale.
   kernel::FastPath fastpath{};
+  /// Run every injection with the VFS FOM executor (DESIGN.md §16): the
+  /// multi-request rollback path is then what the campaign recovers through.
+  bool vfs_fom = false;
+  /// Block-cache size override for every run; 0 keeps the OsConfig default.
+  /// Campaigns exercising the FOM park/resume path shrink it so the suite's
+  /// file traffic actually misses.
+  std::size_t cache_blocks = 0;
 };
+
+/// Run one injection under a policy; returns its classification. Touches
+/// only thread-scoped simulator state, so calls may run concurrently on
+/// distinct threads. When `trace_out` is non-null (and the build has
+/// OSIRIS_TRACE=ON), the run executes with event tracing enabled and the
+/// merged, sequence-ordered text trace is stored there. `opts` carries the
+/// per-run OsConfig knobs (fast path, FOM executor, cache size); its
+/// jobs/progress/traces fields are ignored here.
+RunClass run_one_injection(seep::Policy policy, const Injection& inj,
+                           std::string* trace_out = nullptr, const CampaignOptions& opts = {});
 
 /// Number of workers a campaign uses for `requested` jobs (0 resolves to
 /// hardware_concurrency) — exposed for benches that print it.

@@ -77,6 +77,25 @@ TEST(Analyze, CleanTreeHasZeroFindings) {
   EXPECT_FALSE(r.sites.empty());
 }
 
+TEST(Analyze, LoaderRejectsMissingAndNonDirectoryRoots) {
+  // Loader hardening: a typo'd root and a file-where-a-tree-was-expected must
+  // both fail loudly (the WILL_FAIL ctest gates pin the CLI exit code; this
+  // pins the library-level exception so the message stays distinguishable).
+  EXPECT_THROW(analyze::analyze_tree(std::string(OSIRIS_SOURCE_ROOT) + "/no-such-tree"),
+               std::runtime_error);
+  EXPECT_THROW(analyze::analyze_tree(std::string(OSIRIS_SOURCE_ROOT) + "/CMakeLists.txt"),
+               std::runtime_error);
+}
+
+TEST(Analyze, LoaderRejectsStrayEmptySourceInTree) {
+  // fixture_stray holds a single zero-byte src/servers/stray.cpp — the
+  // "touch / failed checkout" artifact that would otherwise analyze as a
+  // clean (empty) tree.
+  EXPECT_THROW(
+      analyze::analyze_tree(std::string(OSIRIS_SOURCE_ROOT) + "/tools/analyze/fixture_stray"),
+      std::runtime_error);
+}
+
 TEST(Analyze, FixtureSeedsEveryDetector) {
   const analyze::Report r =
       analyze::analyze_tree(std::string(OSIRIS_SOURCE_ROOT) + "/tools/analyze/fixture");

@@ -104,6 +104,15 @@ struct Json {
 
 Report analyze_tree(const std::string& root) {
   const fs::path base(root);
+  // Distinguish the three loader failure modes so a bad --root (typo, file
+  // where a tree was expected, partial checkout) reports what is actually
+  // wrong instead of the generic "not an osiris tree".
+  if (!fs::exists(base)) {
+    throw std::runtime_error("root does not exist: " + root);
+  }
+  if (!fs::is_directory(base)) {
+    throw std::runtime_error("root is not a directory: " + root);
+  }
   const fs::path dirs[] = {base / "src" / "servers", base / "src" / "fs", base / "src" / "os",
                            base / "src" / "recovery"};
   if (!fs::is_directory(dirs[0])) {
@@ -362,6 +371,8 @@ std::string handler_effects_to_json(const Report& report, const std::string& roo
     j.num(h.mutations_after_close);
     j.key("may_close_by_yield");
     j.boolean(h.may_close_by_yield);
+    j.key("may_park");
+    j.boolean(h.may_park);
     j.key("predictions");
     j.open('{');
     for (int pi = 0; pi < kNumPolicies; ++pi) {
@@ -410,6 +421,7 @@ std::string handler_effects_to_json(const Report& report, const std::string& roo
   // the handler rows it is reachable from.
   struct Point {
     std::string detail;
+    bool suppressed = false;
     std::vector<std::string> handlers;
   };
   std::map<std::pair<std::string, int>, Point> points;
@@ -418,6 +430,7 @@ std::string handler_effects_to_json(const Report& report, const std::string& roo
       if (e.kind != EffectKind::kBlocking) continue;
       Point& p = points[{e.file, e.line}];
       p.detail = e.detail;
+      p.suppressed = e.suppressed;
       const std::string id = h.server + "/" + h.msg;
       if (std::find(p.handlers.begin(), p.handlers.end(), id) == p.handlers.end()) {
         p.handlers.push_back(id);
@@ -435,6 +448,8 @@ std::string handler_effects_to_json(const Report& report, const std::string& roo
     j.num(loc.second);
     j.key("detail");
     j.str(p.detail);
+    j.key("suppressed");
+    j.boolean(p.suppressed);
     j.key("handlers");
     j.open('[');
     for (const std::string& id : p.handlers) {

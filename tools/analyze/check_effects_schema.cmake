@@ -55,6 +55,8 @@ set(required_keys
   "\"extended\""
   "\"may_close_by_seep\""
   "\"may_taint\""
+  "\"may_park\""
+  "\"suppressed\""
   "\"effects\""
   "\"detail\""
 )

@@ -283,6 +283,19 @@ std::vector<LocalEvent> extract_local_events(const FuncDef& d, const SiteIndex& 
       ++i;
       continue;
     }
+    if (name == "BlockMiss") {
+      // `throw fs::BlockMiss(bno)`: the FOM executor's resumable park point.
+      // The dispatch returns (no fiber is held), the request re-runs when the
+      // disk completion arrives — a state transition, not a blocking wait.
+      LocalEvent ev;
+      ev.eff.kind = EffectKind::kFomYield;
+      ev.eff.detail = "fom-miss";
+      ev.eff.file = d.file->path;
+      ev.eff.line = tok.line;
+      out.push_back(std::move(ev));
+      ++i;
+      continue;
+    }
     if (is_deferred_intrinsic(name)) {
       const std::size_t close = cg_match_forward(t, i + 1, "(", ")");
       i = close >= t.size() ? i + 1 : close + 1;
@@ -454,6 +467,7 @@ const char* effect_kind_name(EffectKind k) {
     case EffectKind::kMutation: return "mutation";
     case EffectKind::kSend: return "send";
     case EffectKind::kBlocking: return "blocking";
+    case EffectKind::kFomYield: return "fom-yield";
     case EffectKind::kYield: return "yield";
     case EffectKind::kUnboundedLoop: return "unbounded-loop";
     case EffectKind::kRecursiveCall: return "recursive-call";
@@ -472,7 +486,11 @@ const HandlerEffects* Report::effects_for(const std::string& server, const std::
 
 void run_effects_pass(const std::vector<LexedFile>& files, const CallGraph& graph,
                       Report& report) {
-  (void)files;
+  // Suppression lookup: blocking points under an analyze-suppress comment
+  // stay in the effect inventory (they are real code paths) but are stamped
+  // and excluded from findings.
+  std::map<std::string, const LexedFile*> lexed;
+  for (const LexedFile& f : files) lexed[f.path] = &f;
   SiteIndex sites;
   for (const SendSite& s : report.sites) sites[s.file][s.line] = &s;
 
@@ -525,6 +543,11 @@ void run_effects_pass(const std::vector<LexedFile>& files, const CallGraph& grap
         if (seen_effects.insert(key).second) he.effects.push_back(e);
       }
     }
+    for (Effect& e : he.effects) {
+      if (e.kind != EffectKind::kBlocking) continue;
+      auto lit = lexed.find(e.file);
+      e.suppressed = lit != lexed.end() && lit->second->suppressed(kDetBlockingInHandler, e.line);
+    }
 
     // Derived aggregates + handler-granularity window predictions.
     // Predictions are *existential* over the effect sequence: any branch may
@@ -566,13 +589,19 @@ void run_effects_pass(const std::vector<LexedFile>& files, const CallGraph& grap
           break;
         case EffectKind::kBlocking:
           if (he.opens_window) he.may_close_by_yield = true;
-          if (seen_blocking.insert({e.file, e.line}).second) {
+          if (!e.suppressed && seen_blocking.insert({e.file, e.line}).second) {
             report.findings.push_back(
                 Finding{kDetBlockingInHandler, e.file, e.line,
                         "blocking operation (" + e.detail + ") reachable from handler " +
                             he.server + "/" + he.msg +
                             ": the server cannot dispatch until it completes (FOM worklist)"});
           }
+          break;
+        case EffectKind::kFomYield:
+          // A resumable park point: no finding (the executor keeps the
+          // server dispatching) and no forced close — the window survives
+          // the disk wait as per-request park/resume accounting.
+          if (he.opens_window) he.may_park = true;
           break;
         case EffectKind::kYield:
           if (he.opens_window) he.may_close_by_yield = true;

@@ -189,6 +189,9 @@ LexedFile lex_file(const std::string& path, std::string display_path) {
   if (!in) throw std::runtime_error("osiris-analyze: cannot read " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
+  // A mid-stream read failure leaves a truncated buffer that would lex as a
+  // shorter (possibly "clean") file; treat it the same as an unopenable one.
+  if (in.bad()) throw std::runtime_error("osiris-analyze: read failed for " + path);
   const std::string src = ss.str();
   // An empty input is never a legitimate source or fixture file — it is a
   // stray artifact (touch, failed checkout) that would silently analyze as
