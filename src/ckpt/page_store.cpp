@@ -1,0 +1,185 @@
+#include "ckpt/page_store.hpp"
+
+#include <cstring>
+
+#include "support/common.hpp"
+#include "trace/trace.hpp"
+
+namespace osiris::ckpt {
+
+namespace {
+[[nodiscard]] constexpr bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+[[nodiscard]] constexpr std::size_t log2_of(std::size_t v) {
+  std::size_t s = 0;
+  while ((std::size_t{1} << s) < v) ++s;
+  return s;
+}
+}  // namespace
+
+PageStore::PageStore(const PagesConfig& cfg)
+    : canary_head_(kCanary),
+      page_bytes_(cfg.page_bytes),
+      page_shift_(log2_of(cfg.page_bytes)),
+      compact_batch_(cfg.compact_batch > 0 ? cfg.compact_batch : 1),
+      canary_tail_(kCanary) {
+  OSIRIS_ASSERT(is_pow2(page_bytes_));
+}
+
+void PageStore::register_region(std::byte* base, std::size_t len) {
+  OSIRIS_ASSERT(base != nullptr && len > 0 && len % page_bytes_ == 0);
+  Region r;
+  r.base = base;
+  r.len = len;
+  r.first_page = total_bytes_ >> page_shift_;
+  r.n_pages = len >> page_shift_;
+  r.epoch_dirty.assign((r.n_pages + 63) / 64, 0);
+  r.xfer_dirty.assign((r.n_pages + 63) / 64, 0);
+  const auto lo = reinterpret_cast<std::uintptr_t>(base);
+  if (lo < lo_) lo_ = lo;
+  if (lo + len > hi_) hi_ = lo + len;
+  total_bytes_ += len;
+  regions_.push_back(std::move(r));
+}
+
+const PageStore::Region* PageStore::find_region(const void* addr) const noexcept {
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  for (const Region& r : regions_) {
+    const auto b = reinterpret_cast<std::uintptr_t>(r.base);
+    if (a >= b && a < b + r.len) return &r;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<std::byte[]> PageStore::take_buffer() {
+  if (free_pool_.empty() && !retired_.empty()) compact_step();
+  if (!free_pool_.empty()) {
+    auto buf = std::move(free_pool_.back());
+    free_pool_.pop_back();
+    return buf;
+  }
+  resident_bytes_ += page_bytes_;
+  if (resident_bytes_ > stats_.max_resident_bytes) stats_.max_resident_bytes = resident_bytes_;
+  return std::make_unique<std::byte[]>(page_bytes_);
+}
+
+void PageStore::on_store(void* addr, std::size_t len, bool log) {
+  OSIRIS_ASSERT(len > 0);
+  Region* r = const_cast<Region*>(find_region(addr));
+  OSIRIS_ASSERT(r != nullptr);
+  const std::size_t off = static_cast<std::size_t>(static_cast<std::byte*>(addr) - r->base);
+  OSIRIS_ASSERT(off + len <= r->len);  // stores never straddle regions
+  const std::size_t first = off >> page_shift_;
+  const std::size_t last = (off + len - 1) >> page_shift_;
+  for (std::size_t p = first; p <= last; ++p) {
+    set_bit(r->xfer_dirty, p);  // unconditional: the clone must see this
+    if (!log) continue;
+    if (test_bit(r->epoch_dirty, p)) {
+      ++stats_.page_duplicate_skips;
+      continue;
+    }
+    // First write to this page this epoch: capture its pre-image once.
+    auto buf = take_buffer();
+    std::memcpy(buf.get(), r->base + (p << page_shift_), page_bytes_);
+    set_bit(r->epoch_dirty, p);
+    records_.push_back(Rec{static_cast<std::uint32_t>(r - regions_.data()),
+                           static_cast<std::uint32_t>(p), std::move(buf)});
+    ++stats_.page_records;
+    stats_.page_bytes_logged += page_bytes_;
+    OSIRIS_TRACE_EVENT(kPageCapture, trace_id_, r->first_page + p, records_.size());
+  }
+}
+
+void PageStore::restore(const Rec& rec) {
+  Region& r = regions_[rec.region];
+  std::memcpy(r.base + (std::size_t{rec.page} << page_shift_), rec.snap.get(), page_bytes_);
+  clear_bit(r.epoch_dirty, rec.page);
+  // The restore changed the live bytes away from whatever the clone last
+  // synced, so the page must travel on the next delta restart.
+  set_bit(r.xfer_dirty, rec.page);
+}
+
+void PageStore::rollback() {
+  OSIRIS_ASSERT(integrity_ok());
+  const std::size_t n = records_.size();
+  for (std::size_t i = n; i-- > 0;) {
+    restore(records_[i]);
+    retired_.push_back(std::move(records_[i].snap));
+  }
+  records_.clear();
+  stats_.page_rollbacks += n;
+  if (n > 0) OSIRIS_TRACE_EVENT(kPageRollback, trace_id_, n);
+}
+
+void PageStore::rollback_to(std::size_t n_records) {
+  OSIRIS_ASSERT(integrity_ok());
+  OSIRIS_ASSERT(n_records <= records_.size());
+  const std::size_t n = records_.size() - n_records;
+  for (std::size_t i = records_.size(); i-- > n_records;) {
+    restore(records_[i]);  // clears the page's epoch bit: retry re-captures it
+    retired_.push_back(std::move(records_[i].snap));
+  }
+  records_.resize(n_records);
+  stats_.page_rollbacks += n;
+  if (n > 0) OSIRIS_TRACE_EVENT(kPageRollback, trace_id_, n);
+}
+
+void PageStore::checkpoint() {
+  if (!records_.empty()) {
+    OSIRIS_TRACE_EVENT(kPageTruncate, trace_id_, records_.size());
+    for (Rec& rec : records_) {
+      clear_bit(regions_[rec.region].epoch_dirty, rec.page);
+      retired_.push_back(std::move(rec.snap));  // superseded: compaction fodder
+    }
+    records_.clear();
+  }
+  // The "background" compactor, modelled as deterministic incremental work:
+  // each checkpoint retires a bounded batch of superseded snapshots back into
+  // the pool, so backlog drains without an O(backlog) spike on any one path.
+  compact_step();
+}
+
+void PageStore::compact_step() {
+  const std::size_t n = retired_.size() < compact_batch_ ? retired_.size() : compact_batch_;
+  if (n == 0) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    free_pool_.push_back(std::move(retired_.back()));
+    retired_.pop_back();
+  }
+  ++stats_.compactions;
+  stats_.compacted_bytes += page_bytes_ * n;
+}
+
+std::size_t PageStore::sync_transfer_dirty(
+    const std::function<void(std::size_t, const std::byte*, std::size_t)>& copy) {
+  std::size_t moved = 0;
+  for (Region& r : regions_) {
+    for (std::size_t w = 0; w < r.xfer_dirty.size(); ++w) {
+      std::uint64_t bits = r.xfer_dirty[w];
+      while (bits != 0) {
+        const std::size_t p = w * 64 + static_cast<std::size_t>(__builtin_ctzll(bits));
+        bits &= bits - 1;
+        copy((r.first_page + p) << page_shift_, r.base + (p << page_shift_), page_bytes_);
+        moved += page_bytes_;
+      }
+      r.xfer_dirty[w] = 0;
+    }
+  }
+  return moved;
+}
+
+void PageStore::mark_all_transfer_dirty() {
+  for (Region& r : regions_) {
+    for (std::size_t w = 0; w < r.xfer_dirty.size(); ++w) r.xfer_dirty[w] = ~std::uint64_t{0};
+    // Trailing bits past n_pages are harmless garbage only if masked; keep
+    // the invariant that set bits always name real pages.
+    const std::size_t tail = r.n_pages & 63;
+    if (tail != 0) r.xfer_dirty.back() = (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+bool PageStore::integrity_ok() const noexcept {
+  return canary_head_ == kCanary && canary_tail_ == kCanary;
+}
+
+}  // namespace osiris::ckpt

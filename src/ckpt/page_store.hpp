@@ -1,0 +1,200 @@
+// Page-granular checkpoint tier for MB–GB recoverable state (DESIGN.md §17).
+//
+// The arena undo log (undo_log.hpp) is tuned for the paper's KB-scale server
+// states: it captures the *old bytes of every store*, so a handler that
+// rewrites a 4 MB table element logs 4 MB. At the ROADMAP's target scale
+// (millions of users, MB–GB tables in VFS/DS) that is the wrong granularity
+// twice over — logging cost grows with element size, and the Recovery
+// Server's restart phase memcpys the whole data section into the spare clone
+// on every crash.
+//
+// The PageStore is the second tier of the checkpoint stack, in the spirit of
+// cortx-motr's BE regions: a component registers its large heap-backed
+// regions, and Context::log_write routes stores that land in a registered
+// region here instead of the arena log. Per epoch (checkpoint-to-checkpoint
+// interval) the first store to a page captures ONE copy-on-write pre-image
+// snapshot of that fixed-size page; later stores to the same page are free
+// (a per-epoch dirty bitmap is the page-tier analogue of the undo log's
+// duplicate-store filter, and shares its determinism obligation: capture
+// counts depend only on the logical store sequence). Rollback memcpys the
+// snapshots back, newest-first; checkpoint retires the epoch's snapshots
+// into a pool that an incremental compaction step recycles — the
+// steady-state cost of a checkpoint stays O(dirty pages), never O(state).
+//
+// A second, longer-lived bitmap tracks *transfer-dirty* pages: everything
+// stored since the region was last synced into the Recovery Server's spare
+// clone. The restart phase copies only those pages (delta restart) instead
+// of the whole region, and rollback re-marks restored pages so the clone
+// never misses a byte. Transfer tracking is unconditional — it must see
+// stores made while the recovery window is closed, which the undo tier
+// deliberately ignores.
+//
+// Like the undo log, the store lives in the Reliable Computing Base and
+// carries canaries validated on every rollback.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace osiris::ckpt {
+
+/// OsConfig::ckpt_pages. Default-constructed == tier off: stores route to
+/// the arena undo log exactly as before (bit-identical traces).
+struct PagesConfig {
+  bool enabled = false;
+  std::size_t page_bytes = 4096;     // snapshot granularity; power of two
+  std::size_t compact_batch = 8;     // superseded snapshots retired per step
+};
+
+struct PageStoreStats {
+  std::uint64_t page_records = 0;       // CoW pre-image snapshots captured
+  std::uint64_t page_bytes_logged = 0;  // bytes of captured pre-images
+  std::uint64_t page_duplicate_skips = 0;  // stores to an already-dirty page
+  std::uint64_t page_rollbacks = 0;     // pages restored by (partial) rollback
+  std::uint64_t compactions = 0;        // incremental retire steps that moved work
+  std::uint64_t compacted_bytes = 0;    // snapshot bytes recycled by compaction
+  std::uint64_t delta_restart_bytes = 0;  // restart bytes moved as dirty pages
+  std::uint64_t full_copy_bytes = 0;      // what whole-image restarts would move
+  std::size_t max_resident_bytes = 0;   // snapshot-buffer high-water (Table VI)
+};
+
+class PageStore {
+ public:
+  explicit PageStore(const PagesConfig& cfg);
+
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  /// Add [base, base+len) to the routed address space. `len` must be a
+  /// multiple of the page size (PagedTable rounds its buffer up). Regions
+  /// must be registered before the first store and never overlap.
+  void register_region(std::byte* base, std::size_t len);
+
+  /// Routing predicate for Context::log_write: does `addr` land in a
+  /// registered region? Cheap by design — the common case is a handful of
+  /// regions per component, checked against a cached [lo, hi) envelope.
+  [[nodiscard]] bool covers(const void* addr) const noexcept {
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    if (a < lo_ || a >= hi_) return false;
+    return find_region(addr) != nullptr;
+  }
+
+  /// A store of [addr, addr+len) is about to happen. Transfer-dirty marking
+  /// is unconditional; a pre-image snapshot is captured per page per epoch
+  /// only when `log` (the caller's should_log()) is set.
+  void on_store(void* addr, std::size_t len, bool log);
+
+  /// Restore every snapshotted page (newest first), emptying the epoch.
+  void rollback();
+
+  /// Epoch position for UndoLog::Mark: the number of live page records.
+  [[nodiscard]] std::size_t record_count() const noexcept { return records_.size(); }
+
+  /// Restore pages snapshotted after the mark and truncate the record list.
+  /// The truncated pages' dirty bits are cleared *exactly* — a page appears
+  /// at most once per epoch, so the surviving records' bits are untouched —
+  /// which keeps first-write-wins sound: a retried store to a truncated page
+  /// re-captures it, and without that re-capture a later full rollback would
+  /// miss the page entirely (the satellite-2 corruption).
+  void rollback_to(std::size_t n_records);
+
+  /// Drop the epoch: retire all snapshots into the compaction backlog and
+  /// run one incremental compaction step. O(dirty pages), never O(state).
+  void checkpoint();
+
+  [[nodiscard]] bool clean() const noexcept { return records_.empty(); }
+
+  // --- delta restart (recovery::Engine) ----------------------------------
+
+  /// Copy every transfer-dirty page out via `copy(region_off, src, len)`,
+  /// where `region_off` is the page's byte offset in the concatenation of
+  /// all registered regions (the engine's aux-image layout), then clear its
+  /// bit. Returns the bytes moved.
+  std::size_t sync_transfer_dirty(
+      const std::function<void(std::size_t region_off, const std::byte* src, std::size_t len)>&
+          copy);
+
+  /// The whole registered space must be re-synced — used after an external
+  /// overwrite that bypassed log_write (the engine's boot-image microreboot).
+  void mark_all_transfer_dirty();
+
+  /// Restart accounting, pushed by the engine so the delta-vs-full story
+  /// surfaces through UndoLogStats into collect_metrics.
+  void note_restart(std::size_t delta_bytes, std::size_t full_bytes) {
+    stats_.delta_restart_bytes += delta_bytes;
+    stats_.full_copy_bytes += full_bytes;
+  }
+
+  /// Total bytes of registered regions (== the engine's aux-image size).
+  [[nodiscard]] std::size_t region_bytes() const noexcept { return total_bytes_; }
+
+  [[nodiscard]] const PageStoreStats& stats() const noexcept { return stats_; }
+
+  /// Live snapshot-buffer footprint: free pool + retired backlog + pinned.
+  [[nodiscard]] std::size_t resident_bytes() const noexcept { return resident_bytes_; }
+
+  [[nodiscard]] std::size_t page_bytes() const noexcept { return page_bytes_; }
+
+  /// SFI-style canary check, same contract as UndoLog::integrity_ok().
+  [[nodiscard]] bool integrity_ok() const noexcept;
+
+  /// Trace attribution (see UndoLog::set_trace_id).
+  void set_trace_id(std::int32_t comp) noexcept { trace_id_ = comp; }
+
+ private:
+  struct Region {
+    std::byte* base = nullptr;
+    std::size_t len = 0;
+    std::size_t first_page = 0;  // global page index of the region's page 0
+    std::size_t n_pages = 0;
+    std::vector<std::uint64_t> epoch_dirty;  // snapshot taken this epoch
+    std::vector<std::uint64_t> xfer_dirty;   // changed since last clone sync
+  };
+
+  /// One captured pre-image: which page, and the buffer holding its bytes.
+  struct Rec {
+    std::uint32_t region = 0;
+    std::uint32_t page = 0;  // page index within the region
+    std::unique_ptr<std::byte[]> snap;
+  };
+
+  [[nodiscard]] const Region* find_region(const void* addr) const noexcept;
+
+  [[nodiscard]] static bool test_bit(const std::vector<std::uint64_t>& bits,
+                                     std::size_t i) noexcept {
+    return (bits[i >> 6] >> (i & 63)) & 1u;
+  }
+  static void set_bit(std::vector<std::uint64_t>& bits, std::size_t i) noexcept {
+    bits[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  static void clear_bit(std::vector<std::uint64_t>& bits, std::size_t i) noexcept {
+    bits[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  std::unique_ptr<std::byte[]> take_buffer();
+  void restore(const Rec& rec);
+  void compact_step();
+
+  static constexpr std::uint64_t kCanary = 0x9A6E9A6E'0B51B150ULL;
+
+  std::uint64_t canary_head_;
+  std::size_t page_bytes_;
+  std::size_t page_shift_;
+  std::size_t compact_batch_;
+  std::vector<Region> regions_;
+  std::uintptr_t lo_ = ~std::uintptr_t{0};  // envelope over all regions
+  std::uintptr_t hi_ = 0;
+  std::size_t total_bytes_ = 0;
+  std::vector<Rec> records_;  // the per-epoch page records, capture order
+  std::vector<std::unique_ptr<std::byte[]>> free_pool_;  // ready buffers
+  std::vector<std::unique_ptr<std::byte[]>> retired_;    // compaction backlog
+  std::size_t resident_bytes_ = 0;
+  std::int32_t trace_id_ = -1;
+  PageStoreStats stats_;
+  std::uint64_t canary_tail_;
+};
+
+}  // namespace osiris::ckpt

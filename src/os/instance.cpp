@@ -148,9 +148,11 @@ void OsInstance::boot() {
   pm_ = std::make_unique<servers::Pm>(*kernel_, classification_, cfg_.policy, mode);
   vm_ = std::make_unique<servers::Vm>(*kernel_, classification_, cfg_.policy, mode);
   vfs_ = std::make_unique<servers::Vfs>(*kernel_, classification_, cfg_.policy, mode, *disk_,
-                                        cfg_.cache_blocks);
+                                        cfg_.cache_blocks, cfg_.vfs_journal_slots,
+                                        cfg_.ckpt_pages);
   vfs_->set_fom_enabled(cfg_.vfs_fom);
-  ds_ = std::make_unique<servers::Ds>(*kernel_, classification_, cfg_.policy, mode);
+  ds_ = std::make_unique<servers::Ds>(*kernel_, classification_, cfg_.policy, mode,
+                                      cfg_.ds_blob_slots, cfg_.ckpt_pages);
   rs_ = std::make_unique<servers::Rs>(*kernel_, classification_, cfg_.policy, mode);
 
   kernel_->register_server(servers::kSysEp, sys_.get());

@@ -27,12 +27,17 @@ constexpr auto kNpos = static_cast<std::size_t>(-1);
 }
 
 Vfs::Vfs(kernel::Kernel& kernel, const seep::Classification& classification,
-         seep::Policy policy, ckpt::Mode mode, fs::BlockDevice& dev, std::size_t cache_blocks)
+         seep::Policy policy, ckpt::Mode mode, fs::BlockDevice& dev, std::size_t cache_blocks,
+         std::size_t journal_slots, const ckpt::PagesConfig& pages)
     : ServerBase(kernel, kernel::kVfsEp, "vfs", classification, policy, mode),
       dev_(dev),
       cache_(cache_blocks),
       store_(*this),
       minifs_(store_) {
+  if (journal_slots > 0) {
+    journal_ = std::make_unique<ckpt::PagedTable<VfsOpRecord>>(journal_slots, pages.page_bytes);
+    set_aux_region(journal_->region_data(), journal_->region_bytes(), pages);
+  }
   workers_.resize(kVfsWorkers);
   for (std::size_t i = 0; i < kVfsWorkers; ++i) {
     Worker* w = &workers_[i];
@@ -279,9 +284,28 @@ void Vfs::register_handlers() {
   on(VFS_PM_EXEC, &Vfs::do_worker_op);
 }
 
-void Vfs::on_message(const Message& /*m*/) {
+void Vfs::on_message(const Message& m) {
   FI_BLOCK("vfs");
   st().ops += 1;
+  journal_append(m);
+}
+
+/// Ring-append one op record. Runs in the per-message prologue, inside the
+/// freshly-decided window, so a mid-request rollback rewinds the journal
+/// (and its cursor) together with the state the request touched.
+void Vfs::journal_append(const Message& m) {
+  if (journal_ == nullptr) return;
+  const std::uint64_t seq = journal_->user_word();
+  VfsOpRecord& rec = journal_->put(static_cast<std::size_t>(seq % journal_->capacity()));
+  rec = VfsOpRecord{};
+  rec.type = m.type;
+  rec.sender = m.sender.value;
+  rec.seq = seq;
+  rec.arg0 = m.arg[0];
+  const std::string_view text = m.text.view();
+  const std::size_t n = text.size() < sizeof(rec.text) ? text.size() : sizeof(rec.text);
+  std::memcpy(rec.text, text.data(), n);
+  journal_->set_user_word(seq + 1);
 }
 
 std::optional<Message> Vfs::do_dev_done(const Message& m) {

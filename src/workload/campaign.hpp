@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/page_store.hpp"
 #include "fi/fault.hpp"
 #include "fi/registry.hpp"
 #include "kernel/fastpath.hpp"
@@ -99,6 +100,14 @@ struct CampaignOptions {
   /// Campaigns exercising the FOM park/resume path shrink it so the suite's
   /// file traffic actually misses.
   std::size_t cache_blocks = 0;
+  /// Page-tier checkpointing for every run (DESIGN.md §17). Classifications
+  /// and traces must be invariant under `enabled` plus the large-state knobs
+  /// below — campaigns with the tier on are how that is tested at scale.
+  ckpt::PagesConfig ckpt_pages{};
+  /// DS blob-table slots per run; 0 keeps blobs off (the paper-scale store).
+  std::size_t ds_blob_slots = 0;
+  /// VFS op-journal slots per run; 0 keeps the journal off.
+  std::size_t vfs_journal_slots = 0;
 };
 
 /// Run one injection under a policy; returns its classification. Touches
